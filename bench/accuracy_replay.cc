@@ -1,0 +1,118 @@
+#include "bench/accuracy_replay.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/latency_recorder.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::bench {
+namespace {
+
+// Replays the trace against a fresh Os. If `deadline` > 0 it is attached to
+// every read (writes go through sync so they contend at the device). Returns
+// the read-latency recorder; `out_os` receives the Os for stats readout.
+LatencyRecorder Replay(const workload::TraceProfile& profile, const AccuracyOptions& options,
+                       DurationNs deadline, bool accuracy_mode,
+                       std::unique_ptr<os::Os>* out_os, sim::Simulator* sim) {
+  os::OsOptions os_opt;
+  os_opt.backend = options.backend;
+  os_opt.mitt_enabled = true;
+  os_opt.predictor.accuracy_mode = accuracy_mode;
+  os_opt.predictor.calibrate = options.calibrate;
+  os_opt.mitt_cfq = options.mitt_cfq;
+  os_opt.mitt_ssd = options.mitt_ssd;
+  os_opt.seed = options.seed;
+  auto target = std::make_unique<os::Os>(sim, os_opt);
+
+  const int64_t span = profile.span_bytes;
+  const uint64_t file = target->CreateFile(span);
+
+  auto trace = workload::GenerateTrace(profile, Seconds(600), options.seed ^ 0x7ACE);
+  if (trace.size() > options.max_ios) {
+    trace.resize(options.max_ios);
+  }
+
+  auto latencies = std::make_shared<LatencyRecorder>();
+  auto outstanding = std::make_shared<size_t>(trace.size());
+  for (const auto& rec : trace) {
+    const auto at = static_cast<TimeNs>(static_cast<double>(rec.at) / options.rate_scale);
+    sim->ScheduleAt(at, [target = target.get(), file, rec, deadline, latencies, outstanding,
+                         sim] {
+      if (rec.is_read) {
+        os::Os::ReadArgs args;
+        args.file = file;
+        args.offset = rec.offset;
+        args.size = rec.size;
+        args.deadline = deadline;
+        args.pid = 1;
+        args.bypass_cache = true;
+        const TimeNs start = sim->Now();
+        target->Read(args, [latencies, outstanding, start, sim](Status) {
+          latencies->Record(sim->Now() - start);
+          --*outstanding;
+        });
+      } else {
+        os::Os::WriteArgs args;
+        args.file = file;
+        args.offset = rec.offset;
+        args.size = rec.size;
+        args.pid = 2;
+        args.sync = true;
+        target->Write(args, [outstanding](Status) { --*outstanding; });
+      }
+    });
+  }
+  sim->RunUntilPredicate([outstanding] { return *outstanding == 0; });
+
+  LatencyRecorder result = *latencies;
+  *out_os = std::move(target);
+  return result;
+}
+
+}  // namespace
+
+AccuracyResult RunAccuracyReplay(const workload::TraceProfile& profile,
+                                 const AccuracyOptions& options) {
+  AccuracyResult result;
+  result.trace = profile.name;
+
+  // Pass 1: learn the p95 latency with no deadlines attached.
+  DurationNs p95 = 0;
+  {
+    sim::Simulator sim;
+    std::unique_ptr<os::Os> target;
+    const LatencyRecorder base = Replay(profile, options, sched::kNoDeadline,
+                                        /*accuracy_mode=*/false, &target, &sim);
+    p95 = base.Percentile(95);
+  }
+  result.deadline = p95;
+
+  // Pass 2: accuracy mode with deadline = p95 on every read.
+  {
+    sim::Simulator sim;
+    std::unique_ptr<os::Os> target;
+    const LatencyRecorder run =
+        Replay(profile, options, p95, /*accuracy_mode=*/true, &target, &sim);
+    result.ios = run.count();
+    const os::PredictionStats* stats = nullptr;
+    if (target->mitt_cfq() != nullptr) {
+      stats = &target->mitt_cfq()->stats();
+    } else if (target->mitt_ssd() != nullptr) {
+      stats = &target->mitt_ssd()->stats();
+    } else if (target->mitt_noop() != nullptr) {
+      stats = &target->mitt_noop()->stats();
+    }
+    if (stats != nullptr && stats->total > 0) {
+      result.false_positive_pct =
+          100.0 * static_cast<double>(stats->false_positives) / static_cast<double>(stats->total);
+      result.false_negative_pct =
+          100.0 * static_cast<double>(stats->false_negatives) / static_cast<double>(stats->total);
+      result.inaccuracy_pct = stats->InaccuracyPercent();
+      result.mean_wrong_diff_ms = stats->MeanWrongDiffNs() / kMillisecond;
+    }
+  }
+  return result;
+}
+
+}  // namespace mitt::bench

@@ -1,0 +1,50 @@
+// Shared trace-replay machinery for the prediction-accuracy experiments
+// (Fig. 9, §7.6, and the precision-feature ablations).
+//
+// Methodology follows the paper: replay a production-like block trace on one
+// machine; use the trace's p95 latency as the per-IO deadline; run the
+// predictor in accuracy mode (EBUSY is *flagged* on the IO descriptor, never
+// returned, so the actual completion time can be compared with the deadline)
+// and count false positives / false negatives.
+
+#ifndef MITTOS_BENCH_ACCURACY_REPLAY_H_
+#define MITTOS_BENCH_ACCURACY_REPLAY_H_
+
+#include <string>
+
+#include "src/os/os.h"
+#include "src/workload/synthetic_trace.h"
+
+namespace mitt::bench {
+
+struct AccuracyResult {
+  std::string trace;
+  double false_positive_pct = 0;
+  double false_negative_pct = 0;
+  double inaccuracy_pct = 0;
+  double mean_wrong_diff_ms = 0;
+  DurationNs deadline = 0;
+  size_t ios = 0;
+};
+
+struct AccuracyOptions {
+  os::BackendKind backend = os::BackendKind::kDiskCfq;
+  // Arrival-time scaling: >1 compresses the trace (more intense). The paper
+  // re-rates traces 128x for the SSD's 128 chips; disk replays are slowed to
+  // a rate a single spindle can absorb.
+  double rate_scale = 1.0;
+  size_t max_ios = 5000;
+  os::MittCfqOptions mitt_cfq;   // Precision-feature knobs (ablations).
+  os::MittSsdOptions mitt_ssd;
+  bool calibrate = true;
+  uint64_t seed = 5;
+};
+
+// Replays `profile` twice: once without deadlines to learn the p95, then in
+// accuracy mode with deadline = p95 attached to every read.
+AccuracyResult RunAccuracyReplay(const workload::TraceProfile& profile,
+                                 const AccuracyOptions& options);
+
+}  // namespace mitt::bench
+
+#endif  // MITTOS_BENCH_ACCURACY_REPLAY_H_

@@ -1,0 +1,61 @@
+// Figure 12 (§7.8.3): "choose-the-fastest-replica" (Cassandra snitching and
+// C3 adaptive replica selection) vs millisecond dynamism. Four regimes on a
+// 3-replica cluster:
+//   NoBusy      — no contention;
+//   Bursty      — EC2-style sub-second bursts;
+//   1B2F-1sec   — one busy / two free, rotating every second;
+//   1B2F-5sec   — same, rotating every five seconds (slow enough to track).
+// Expected: C3/snitch only close the gap in the 5-second regime; MittOS
+// (shown for contrast) tracks NoBusy everywhere.
+
+#include <cstdio>
+
+#include "src/harness/experiment.h"
+
+int main() {
+  using namespace mitt;
+  using harness::StrategyKind;
+
+  harness::ExperimentOptions base_opt;
+  base_opt.num_nodes = 3;
+  base_opt.num_clients = 4;
+  base_opt.measure_requests = 5000;
+  base_opt.warmup_requests = 300;
+  base_opt.deadline = Millis(15);
+  base_opt.seed = 20170108;
+
+  struct Regime {
+    const char* name;
+    harness::NoiseKind noise;
+    DurationNs rotate;
+  };
+  const Regime regimes[] = {
+      {"NoBusy", harness::NoiseKind::kNone, 0},
+      {"Bursty", harness::NoiseKind::kEc2, 0},
+      {"1B2F-1sec", harness::NoiseKind::kRotating, Seconds(1)},
+      {"1B2F-5sec", harness::NoiseKind::kRotating, Seconds(5)},
+  };
+
+  std::printf("=== Figure 12: snitching / C3 vs bursty noise (3 replicas) ===\n");
+  for (const StrategyKind kind :
+       {StrategyKind::kC3, StrategyKind::kSnitch, StrategyKind::kMittos}) {
+    std::vector<harness::RunResult> results;
+    for (const Regime& regime : regimes) {
+      harness::ExperimentOptions opt = base_opt;
+      opt.noise = regime.noise;
+      opt.rotate_period = regime.rotate;
+      if (regime.noise == harness::NoiseKind::kEc2) {
+        opt.ec2 = harness::CompressedEc2Noise();
+        opt.ec2.mean_off = Millis(1200);  // Denser bursts on 3 nodes.
+      }
+      harness::Experiment experiment(opt);
+      auto result = experiment.Run(kind);
+      result.name = regime.name;
+      results.push_back(std::move(result));
+    }
+    std::printf("\n--- %s under each noise regime (get() latencies) ---\n",
+                std::string(harness::StrategyKindName(kind)).c_str());
+    harness::PrintPercentileTable(results, {50, 80, 85, 90, 95, 99}, /*user_level=*/false);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 6 (§7.3): tail amplified by scale. A user request fans out SF
+// parallel get()s and waits for all of them; with SF in {1, 2, 5, 10} the
+// fraction of user requests dragged past the deadline grows for Hedged
+// (which must wait before reacting) while MittCFQ's instant rejection keeps
+// the amplification small. Expected: MittCFQ's reduction vs Hedged grows
+// with SF (up to ~35% at p95 with SF=5 in the paper).
+
+#include <cstdio>
+
+#include "src/harness/experiment.h"
+
+int main() {
+  using namespace mitt;
+  using harness::StrategyKind;
+
+  harness::ExperimentOptions base_opt;
+  base_opt.num_nodes = 20;
+  base_opt.num_clients = 20;
+  base_opt.measure_requests = 5000;
+  base_opt.warmup_requests = 300;
+  base_opt.noise = harness::NoiseKind::kEc2;
+  base_opt.ec2 = harness::CompressedEc2Noise();
+  base_opt.seed = 20170102;
+
+  // Derive the p95 deadline once, at SF=1 (the paper keeps 13ms throughout).
+  harness::Experiment probe(base_opt);
+  const auto base_results = probe.RunAll({StrategyKind::kBase});
+  const DurationNs p95 = probe.derived_p95();
+  std::printf("=== Figure 6: tail amplified by scale (MittCFQ vs Hedged) ===\n");
+  std::printf("deadline / hedge delay = SF=1 Base p95 = %.2f ms\n", ToMillis(p95));
+
+  for (const int sf : {1, 2, 5, 10}) {
+    harness::ExperimentOptions opt = base_opt;
+    opt.scale_factor = sf;
+    opt.deadline = p95;
+    opt.hedge_delay = p95;
+    opt.measure_requests = static_cast<size_t>(5000 / sf) + 500;
+    harness::Experiment experiment(opt);
+    const auto hedged = experiment.Run(StrategyKind::kHedged);
+    const auto mitt = experiment.Run(StrategyKind::kMittos);
+    const auto base = experiment.Run(StrategyKind::kBase);
+
+    std::printf("\n--- Fig 6: scale factor SF=%d (user-request latencies) ---\n", sf);
+    harness::PrintPercentileTable({base, hedged, mitt}, {50, 75, 90, 95, 99},
+                                  /*user_level=*/true);
+    std::printf("reduction of MittCFQ vs Hedged:\n");
+    harness::PrintReductionTable(mitt, {hedged}, {75, 90, 95, 99}, /*user_level=*/true);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 9 (§7.6): prediction inaccuracy of MittCFQ and MittSSD on five
+// production-like block traces (synthetic DAPPS/DTRS/EXCH/LMBE/TPCC), with
+// deadline = each trace's p95 latency. EBUSY is flagged on the descriptor
+// rather than returned (accuracy-accounting mode), so false positives and
+// false negatives can be measured against actual completion times.
+// Expected: total inaccuracy well under a few percent for both predictors,
+// and small mean deviations for the mispredicted IOs.
+
+#include <cstdio>
+
+#include "bench/accuracy_replay.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace mitt;
+
+  std::printf("=== Figure 9: prediction inaccuracy (p95 deadline per trace) ===\n\n");
+
+  Table table({"Trace", "CFQ FP%", "CFQ FN%", "CFQ total%", "CFQ wrong-diff",
+               "SSD FP%", "SSD FN%", "SSD total%", "SSD wrong-diff"});
+  for (const auto& profile : workload::PaperTraceProfiles()) {
+    bench::AccuracyOptions disk_opt;
+    disk_opt.backend = os::BackendKind::kDiskCfq;
+    // Slow each trace to a rate one spindle can absorb (~40 IOPS foreground):
+    // the paper replays on a real disk, so the traces are disk-feasible.
+    disk_opt.rate_scale = ToMillis(profile.mean_interarrival) / 25.0;
+    disk_opt.max_ios = 4000;
+    const auto disk = bench::RunAccuracyReplay(profile, disk_opt);
+
+    bench::AccuracyOptions ssd_opt;
+    ssd_opt.backend = os::BackendKind::kSsd;
+    ssd_opt.rate_scale = 16.0;  // Re-rate more intensive for 128 chips (§7.6).
+    ssd_opt.max_ios = 20000;
+    const auto ssd = bench::RunAccuracyReplay(profile, ssd_opt);
+
+    table.AddRow({profile.name, Table::Num(disk.false_positive_pct, 2),
+                  Table::Num(disk.false_negative_pct, 2), Table::Num(disk.inaccuracy_pct, 2),
+                  Table::Num(disk.mean_wrong_diff_ms, 2) + "ms",
+                  Table::Num(ssd.false_positive_pct, 2), Table::Num(ssd.false_negative_pct, 2),
+                  Table::Num(ssd.inaccuracy_pct, 2),
+                  Table::Num(ssd.mean_wrong_diff_ms, 2) + "ms"});
+  }
+  table.Print();
+  std::printf("\nExpected: sub-percent to low-percent inaccuracy with the full precision\n"
+              "features (the paper reports 0.5-0.9%% for MittCFQ and <=0.8%% for MittSSD).\n");
+  return 0;
+}

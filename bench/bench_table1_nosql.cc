@@ -1,0 +1,40 @@
+// Table 1 (§2): "no TT in NoSQL". Six NoSQL systems modelled by their
+// client-side tail-tolerance configurations, driven against a severe
+// one-second rotating contention across 3 replicas. Expected findings:
+//   * no system fails over in its default configuration (5-75s timeouts);
+//   * with a forced 100ms timeout, three systems fail over and three surface
+//     read errors to the user;
+//   * only two systems support cloning; none support hedged/tied requests.
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/study/nosql_study.h"
+
+int main() {
+  using namespace mitt;
+
+  study::NosqlStudyOptions options;
+  options.requests = 2000;
+  const auto rows = study::RunNosqlStudy(options);
+
+  std::printf("=== Table 1: tail tolerance in NoSQL ===\n");
+  Table table({"System", "Def.TT", "TO Val.", "Failover@100ms", "Errors@100ms", "Clone",
+               "Hedged/Tied", "default p99 (ms)"});
+  for (const auto& row : rows) {
+    table.AddRow({row.name, row.default_tt ? "yes" : "no",
+                  Table::Num(ToSeconds(row.default_timeout), 0) + "s",
+                  row.failover_at_100ms ? "yes" : "NO (read errors)",
+                  std::to_string(row.errors_at_100ms), row.supports_clone ? "yes" : "no",
+                  row.supports_hedged ? "yes" : "no",
+                  Table::Num(ToMillis(row.default_p99), 1)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nReading: every system rides out the 1s rotating contention in its default\n"
+      "config (Def.TT = no), because default timeouts are tens of seconds. Forcing a\n"
+      "100ms timeout helps only the systems that actually fail over on timeout.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// A replicated NoSQL store on a multi-tenant cluster, the paper's core use
+// case (§3.1): 3 MongoDB-like replicas, a noisy neighbor saturating one
+// machine's disk in bursts, and two clients — one using the classic
+// wait-then-retry timeout, one using MittOS instant failover.
+//
+// Run:  ./build/examples/noisy_neighbor_cluster
+
+#include <cstdio>
+
+#include "src/harness/experiment.h"
+
+int main() {
+  using namespace mitt;
+  using harness::StrategyKind;
+
+  harness::ExperimentOptions opt;
+  opt.num_nodes = 3;
+  opt.num_clients = 2;
+  opt.measure_requests = 2000;
+  opt.warmup_requests = 100;
+  opt.pin_primary_node = 0;                       // Every get first hits node 0...
+  opt.noise = harness::NoiseKind::kContinuous;    // ...which a tenant keeps busy.
+  opt.continuous_intensity = 2;
+  opt.deadline = Millis(20);
+  opt.app_timeout = Millis(20);
+  opt.seed = 7;
+
+  std::printf("A 3-replica DocStore; node 0 hosts a disk-hungry neighbor.\n");
+  std::printf("Every get() is first routed to node 0 and takes ~6ms when quiet.\n\n");
+
+  harness::Experiment experiment(opt);
+  const auto base = experiment.Run(StrategyKind::kBase);
+  const auto appto = experiment.Run(StrategyKind::kAppTimeout);
+  const auto mitt = experiment.Run(StrategyKind::kMittos);
+
+  harness::PrintPercentileTable({base, appto, mitt}, {50, 90, 95, 99}, /*user_level=*/false);
+
+  std::printf("\nBase   : waits out the contention (no tail tolerance).\n");
+  std::printf("AppTO  : retries after a 20ms timeout — pays the wait, then the retry.\n");
+  std::printf("MittOS : %lu instant EBUSY failovers; the deadline was never waited out.\n",
+              static_cast<unsigned long>(mitt.ebusy_failovers));
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "src/client/adaptive.h"
+
+#include <cmath>
+#include <vector>
+
+namespace mitt::client {
+namespace {
+
+// Neutral starting score: a plausible uncontended get latency, so the first
+// few requests spread across replicas instead of piling onto node 0.
+constexpr double kInitialScoreNs = 5.0 * kMillisecond;
+
+}  // namespace
+
+SnitchStrategy::SnitchStrategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_t seed,
+                               const Options& options)
+    : GetStrategy(sim, cluster, seed), options_(options) {
+  ewma_ns_.assign(static_cast<size_t>(cluster->num_nodes()), kInitialScoreNs);
+  snapshot_ns_ = ewma_ns_;
+  refresh_event_ = sim_->ScheduleDaemon(options_.update_interval, [this] { RefreshTick(); });
+}
+
+SnitchStrategy::~SnitchStrategy() { sim_->Cancel(refresh_event_); }
+
+void SnitchStrategy::RefreshTick() {
+  snapshot_ns_ = ewma_ns_;
+  refresh_event_ = sim_->ScheduleDaemon(options_.update_interval, [this] { RefreshTick(); });
+}
+
+void SnitchStrategy::Get(uint64_t key, GetDoneFn done) {
+  const auto replicas = Replicas(key);
+  int best = replicas[0];
+  for (const int node : replicas) {
+    if (snapshot_ns_[static_cast<size_t>(node)] < snapshot_ns_[static_cast<size_t>(best)]) {
+      best = node;
+    }
+  }
+  // Badness threshold: near-equal scores spread randomly instead of herding.
+  const double best_score = snapshot_ns_[static_cast<size_t>(best)];
+  std::vector<int> close;
+  for (const int node : replicas) {
+    if (snapshot_ns_[static_cast<size_t>(node)] <=
+        best_score * (1.0 + options_.badness_threshold)) {
+      close.push_back(node);
+    }
+  }
+  if (close.size() > 1) {
+    best = close[static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(close.size()) - 1))];
+  }
+  const TimeNs start = sim_->Now();
+  auto shared_done = std::make_shared<GetDoneFn>(std::move(done));
+  SendGet(best, key, sched::kNoDeadline, [this, best, start, shared_done](Status status) {
+    const double sample = static_cast<double>(sim_->Now() - start);
+    double& score = ewma_ns_[static_cast<size_t>(best)];
+    score = (1.0 - options_.ewma_alpha) * score + options_.ewma_alpha * sample;
+    (*shared_done)({status, 1});
+  });
+}
+
+C3Strategy::C3Strategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_t seed,
+                       const Options& options)
+    : GetStrategy(sim, cluster, seed), options_(options) {
+  ewma_ns_.assign(static_cast<size_t>(cluster->num_nodes()), kInitialScoreNs);
+  outstanding_.assign(static_cast<size_t>(cluster->num_nodes()), 0);
+  last_update_.assign(static_cast<size_t>(cluster->num_nodes()), 0);
+}
+
+double C3Strategy::Score(int node) const {
+  const auto i = static_cast<size_t>(node);
+  // Stale observations decay toward the fleet mean.
+  double mean = 0;
+  for (const double v : ewma_ns_) {
+    mean += v;
+  }
+  mean /= static_cast<double>(ewma_ns_.size());
+  const double age = static_cast<double>(sim_->Now() - last_update_[i]);
+  const double freshness = std::exp(-age / static_cast<double>(options_.score_decay));
+  const double base = mean + (ewma_ns_[i] - mean) * freshness;
+  const double q = 1.0 + outstanding_[i];
+  // Cubic penalty on concurrency (C3's q-hat^3 term), scaled by the observed
+  // response time as a proxy for the service rate.
+  return base + q * q * q * base * 0.1;
+}
+
+void C3Strategy::Get(uint64_t key, GetDoneFn done) {
+  const auto replicas = Replicas(key);
+  int best = replicas[0];
+  for (const int node : replicas) {
+    if (Score(node) < Score(best)) {
+      best = node;
+    }
+  }
+  const TimeNs start = sim_->Now();
+  ++outstanding_[static_cast<size_t>(best)];
+  auto shared_done = std::make_shared<GetDoneFn>(std::move(done));
+  SendGet(best, key, sched::kNoDeadline, [this, best, start, shared_done](Status status) {
+    --outstanding_[static_cast<size_t>(best)];
+    const double sample = static_cast<double>(sim_->Now() - start);
+    double& score = ewma_ns_[static_cast<size_t>(best)];
+    score = (1.0 - options_.ewma_alpha) * score + options_.ewma_alpha * sample;
+    last_update_[static_cast<size_t>(best)] = sim_->Now();
+    (*shared_done)({status, 1});
+  });
+}
+
+}  // namespace mitt::client

@@ -1,0 +1,79 @@
+// "Choose-the-fastest-replica" strategies (§7.8.3):
+//
+//  * SnitchStrategy — Cassandra-style dynamic snitching [1]: per-replica
+//    latency scores refreshed on a coarse interval; requests go to the
+//    replica with the best score as of the last refresh. Effective for
+//    stable imbalance, ineffective for sub-second burstiness.
+//  * C3Strategy — C3's adaptive replica selection [52], simplified: replicas
+//    are ranked by an EWMA response time plus a *cubic* penalty on the
+//    client's outstanding requests to that replica (the cubic replica
+//    scoring of the C3 paper; we omit its server-side rate control and use
+//    client-observed state only, which matches the information available in
+//    our deployment model).
+
+#ifndef MITTOS_CLIENT_ADAPTIVE_H_
+#define MITTOS_CLIENT_ADAPTIVE_H_
+
+#include <vector>
+
+#include "src/client/strategy.h"
+
+namespace mitt::client {
+
+class SnitchStrategy : public GetStrategy {
+ public:
+  struct Options {
+    double ewma_alpha = 0.2;
+    // Scores used for routing are only refreshed this often (Cassandra
+    // resets/recomputes snitch scores on a coarse interval).
+    DurationNs update_interval = Millis(100);
+    // Cassandra's dynamic-snitch badness threshold: when replica scores are
+    // within this relative band, requests spread round-robin/randomly
+    // instead of herding onto the single best replica.
+    double badness_threshold = 0.1;
+  };
+
+  SnitchStrategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_t seed,
+                 const Options& options);
+  ~SnitchStrategy() override;
+
+  std::string_view name() const override { return "Snitch"; }
+  void Get(uint64_t key, GetDoneFn done) override;
+
+ private:
+  void RefreshTick();
+
+  Options options_;
+  std::vector<double> ewma_ns_;      // Live per-node EWMA.
+  std::vector<double> snapshot_ns_;  // Scores actually used for routing.
+  sim::EventId refresh_event_ = sim::kInvalidEventId;
+};
+
+class C3Strategy : public GetStrategy {
+ public:
+  struct Options {
+    double ewma_alpha = 0.3;
+    DurationNs score_decay = Seconds(2);
+  };
+
+  C3Strategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_t seed,
+             const Options& options);
+
+  std::string_view name() const override { return "C3"; }
+  void Get(uint64_t key, GetDoneFn done) override;
+
+ private:
+  double Score(int node) const;
+
+  Options options_;
+  std::vector<double> ewma_ns_;
+  std::vector<int> outstanding_;
+  // A stale score decays toward the fleet mean, so a replica that recovered
+  // from a burst is re-tried within a few seconds (without this, min-score
+  // selection never revisits a once-slow replica).
+  std::vector<TimeNs> last_update_;
+};
+
+}  // namespace mitt::client
+
+#endif  // MITTOS_CLIENT_ADAPTIVE_H_

@@ -1,0 +1,84 @@
+#include "src/client/mittos_client.h"
+
+#include <memory>
+
+namespace mitt::client {
+
+MittosStrategy::MittosStrategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_t seed,
+                               const Options& options)
+    : GetStrategy(sim, cluster, seed), options_(options) {}
+
+void MittosStrategy::Get(uint64_t key, GetDoneFn done) {
+  Attempt(key, 0, std::make_shared<GetDoneFn>(std::move(done)));
+}
+
+void MittosStrategy::Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done) {
+  const auto replicas = Replicas(key);
+  const bool last_try = static_cast<size_t>(try_index) + 1 >= replicas.size();
+  // The last retry disables the deadline; otherwise users could get IO errors
+  // even though data is available (§5, modification (3)).
+  const DurationNs deadline = last_try ? sched::kNoDeadline : options_.deadline;
+  const int node = replicas[static_cast<size_t>(try_index)];
+  SendGet(node, key, deadline, [this, key, try_index, done](Status status) {
+    if (status.busy()) {
+      ++ebusy_failovers_;
+      Attempt(key, try_index + 1, done);  // Instant, exceptionless failover.
+      return;
+    }
+    (*done)({status, try_index + 1});
+  });
+}
+
+struct MittosWaitStrategy::Attempt {
+  uint64_t key = 0;
+  std::vector<int> replicas;
+  std::vector<DurationNs> hints;  // Predicted wait per replica (on EBUSY).
+  size_t next = 0;
+  GetDoneFn done;
+};
+
+MittosWaitStrategy::MittosWaitStrategy(sim::Simulator* sim, cluster::Cluster* cluster,
+                                       uint64_t seed, const Options& options)
+    : GetStrategy(sim, cluster, seed), options_(options) {}
+
+void MittosWaitStrategy::Get(uint64_t key, GetDoneFn done) {
+  auto attempt = std::make_shared<Attempt>();
+  attempt->key = key;
+  attempt->replicas = Replicas(key);
+  attempt->hints.assign(attempt->replicas.size(), 0);
+  attempt->done = std::move(done);
+  TryReplica(std::move(attempt));
+}
+
+void MittosWaitStrategy::TryReplica(std::shared_ptr<Attempt> attempt) {
+  if (attempt->next >= attempt->replicas.size()) {
+    // Every replica rejected: the paper's proposed 4th retry, informed by the
+    // wait hints — go wait on the *least busy* node, deadline disabled.
+    ++informed_last_tries_;
+    size_t best = 0;
+    for (size_t i = 1; i < attempt->hints.size(); ++i) {
+      if (attempt->hints[i] < attempt->hints[best]) {
+        best = i;
+      }
+    }
+    const int node = attempt->replicas[best];
+    const int tries = static_cast<int>(attempt->replicas.size()) + 1;
+    SendGet(node, attempt->key, sched::kNoDeadline,
+            [attempt, tries](Status status) { attempt->done({status, tries}); });
+    return;
+  }
+  const size_t index = attempt->next++;
+  const int node = attempt->replicas[index];
+  SendGetWithHint(node, attempt->key, options_.deadline,
+                  [this, attempt, index](Status status, DurationNs hint) {
+                    if (status.busy()) {
+                      ++ebusy_failovers_;
+                      attempt->hints[index] = hint;
+                      TryReplica(attempt);
+                      return;
+                    }
+                    attempt->done({status, static_cast<int>(index) + 1});
+                  });
+}
+
+}  // namespace mitt::client

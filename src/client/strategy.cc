@@ -1,0 +1,28 @@
+#include "src/client/strategy.h"
+
+namespace mitt::client {
+
+GetStrategy::GetStrategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_t seed)
+    : sim_(sim), cluster_(cluster), rng_(seed) {}
+
+void GetStrategy::SendGet(int node, uint64_t key, DurationNs deadline,
+                          std::function<void(Status)> on_reply) {
+  SendGetWithHint(node, key, deadline,
+                  [on_reply = std::move(on_reply)](Status s, DurationNs) { on_reply(s); });
+}
+
+void GetStrategy::SendGetWithHint(int node, uint64_t key, DurationNs deadline,
+                                  std::function<void(Status, DurationNs)> on_reply) {
+  cluster::Network& net = cluster_->network();
+  cluster::Cluster* cluster = cluster_;
+  net.Deliver([cluster, node, key, deadline, on_reply = std::move(on_reply)]() mutable {
+    cluster->node(node).HandleGetWithHint(
+        key, deadline,
+        [cluster, on_reply = std::move(on_reply)](Status status, DurationNs hint) mutable {
+          cluster->network().Deliver(
+              [on_reply = std::move(on_reply), status, hint] { on_reply(status, hint); });
+        });
+  });
+}
+
+}  // namespace mitt::client

@@ -1,0 +1,61 @@
+// Client-side tail-tolerance strategies (§7.2's comparison set).
+//
+// Every strategy implements one replicated get() over the cluster; the
+// experiment harness runs identical workloads and noise replays through each
+// strategy and compares the completion-time distributions. The shared
+// plumbing (network round trip to a chosen replica) lives in the base class.
+
+#ifndef MITTOS_CLIENT_STRATEGY_H_
+#define MITTOS_CLIENT_STRATEGY_H_
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::client {
+
+// Completion of one replicated get: final status (kOk, or an error for
+// strategies that surface timeouts as user errors, §2) and how many tries
+// (server contacts) it took.
+struct GetResult {
+  Status status;
+  int tries = 1;
+};
+
+using GetDoneFn = std::function<void(const GetResult&)>;
+
+class GetStrategy {
+ public:
+  GetStrategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_t seed);
+  virtual ~GetStrategy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Issues one replicated get for `key`; calls `done` exactly once.
+  virtual void Get(uint64_t key, GetDoneFn done) = 0;
+
+ protected:
+  // One request/reply round trip to `node`.
+  void SendGet(int node, uint64_t key, DurationNs deadline, std::function<void(Status)> on_reply);
+
+  // Round trip whose EBUSY reply carries the server's predicted wait
+  // (§7.8.1's interface extension).
+  void SendGetWithHint(int node, uint64_t key, DurationNs deadline,
+                       std::function<void(Status, DurationNs)> on_reply);
+
+  std::vector<int> Replicas(uint64_t key) const { return cluster_->ReplicasOf(key); }
+
+  sim::Simulator* sim_;
+  cluster::Cluster* cluster_;
+  Rng rng_;
+};
+
+}  // namespace mitt::client
+
+#endif  // MITTOS_CLIENT_STRATEGY_H_

@@ -1,0 +1,53 @@
+#include "src/client/timeout.h"
+
+#include <memory>
+
+namespace mitt::client {
+
+TimeoutStrategy::TimeoutStrategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_t seed,
+                                 const Options& options)
+    : GetStrategy(sim, cluster, seed), options_(options) {}
+
+void TimeoutStrategy::Get(uint64_t key, GetDoneFn done) {
+  Attempt(key, 0, std::make_shared<GetDoneFn>(std::move(done)));
+}
+
+void TimeoutStrategy::Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done) {
+  const auto replicas = Replicas(key);
+  const int node = replicas[static_cast<size_t>(try_index) % replicas.size()];
+  const bool last_try = try_index + 1 >= options_.max_tries;
+
+  // One timer + one reply race; whichever fires first settles this attempt.
+  auto settled = std::make_shared<bool>(false);
+  sim::EventId timer = sim::kInvalidEventId;
+  if (!last_try && options_.timeout > 0) {
+    timer = sim_->Schedule(options_.timeout, [this, key, try_index, done, settled] {
+      if (*settled) {
+        return;
+      }
+      *settled = true;
+      ++timeouts_fired_;
+      if (!options_.failover_on_timeout) {
+        // The user receives a read error even though less-busy replicas are
+        // available (§2's surprising finding).
+        (*done)({Status::Timeout(), try_index + 1});
+        return;
+      }
+      Attempt(key, try_index + 1, done);
+    });
+  }
+
+  SendGet(node, key, sched::kNoDeadline,
+          [this, timer, settled, done, try_index](Status status) {
+            if (*settled) {
+              return;  // Timed out earlier; this reply is stale (app-level cancel).
+            }
+            *settled = true;
+            if (timer != sim::kInvalidEventId) {
+              sim_->Cancel(timer);
+            }
+            (*done)({status, try_index + 1});
+          });
+}
+
+}  // namespace mitt::client

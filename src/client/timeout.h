@@ -1,0 +1,47 @@
+// Base (no tail tolerance) and application-timeout (AppTO) strategies.
+//
+// TimeoutStrategy covers both §7.2's "Base" (a very coarse timeout, as the
+// NoSQL defaults of Table 1: tens of seconds) and "AppTO" (timeout = the p95
+// deadline; cancel the first try at the application level and retry the next
+// replica; the third try disables the timeout).
+//
+// Table 1's finding that several systems do *not* fail over on timeout — the
+// user just gets a read error — is modelled by `failover_on_timeout = false`.
+
+#ifndef MITTOS_CLIENT_TIMEOUT_H_
+#define MITTOS_CLIENT_TIMEOUT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/client/strategy.h"
+
+namespace mitt::client {
+
+class TimeoutStrategy : public GetStrategy {
+ public:
+  struct Options {
+    std::string name = "Base";
+    DurationNs timeout = Seconds(30);
+    bool failover_on_timeout = true;
+    int max_tries = 3;  // Last try runs without a timeout.
+  };
+
+  TimeoutStrategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_t seed,
+                  const Options& options);
+
+  std::string_view name() const override { return options_.name; }
+  void Get(uint64_t key, GetDoneFn done) override;
+
+  uint64_t timeouts_fired() const { return timeouts_fired_; }
+
+ private:
+  void Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done);
+
+  Options options_;
+  uint64_t timeouts_fired_ = 0;
+};
+
+}  // namespace mitt::client
+
+#endif  // MITTOS_CLIENT_TIMEOUT_H_

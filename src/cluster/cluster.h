@@ -1,0 +1,51 @@
+// A replicated DocStore deployment: N nodes, every key replicated on 3 of
+// them (§3.1's deployment model), one shared network.
+
+#ifndef MITTOS_CLUSTER_CLUSTER_H_
+#define MITTOS_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/network.h"
+#include "src/kv/doc_store_node.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::cluster {
+
+class Cluster {
+ public:
+  struct Options {
+    int num_nodes = 20;
+    int replication = 3;
+    kv::DocStoreNode::Options node;
+    NetworkParams network;
+    // >0: every node handler contends for one shared CPU pool of this many
+    // cores (the §7.5 one-machine/many-processes deployment).
+    int shared_cpu_cores = 0;
+    uint64_t seed = 1;
+  };
+
+  Cluster(sim::Simulator* sim, const Options& options);
+
+  kv::DocStoreNode& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Network& network() { return *network_; }
+  const Options& options() const { return options_; }
+
+  // The `replication` nodes holding `key`, primary first.
+  std::vector<int> ReplicasOf(uint64_t key) const;
+
+  // Warms every node's cache to the given fraction of its dataset.
+  void WarmAll(double fraction);
+
+ private:
+  Options options_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<CpuPool> shared_cpu_;
+  std::vector<std::unique_ptr<kv::DocStoreNode>> nodes_;
+};
+
+}  // namespace mitt::cluster
+
+#endif  // MITTOS_CLUSTER_CLUSTER_H_

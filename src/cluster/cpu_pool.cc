@@ -1,0 +1,29 @@
+#include "src/cluster/cpu_pool.h"
+
+#include <utility>
+
+namespace mitt::cluster {
+
+CpuPool::CpuPool(sim::Simulator* sim, int cores) : sim_(sim), cores_(cores) {}
+
+void CpuPool::Execute(DurationNs work, std::function<void()> done) {
+  queue_.push_back({work, std::move(done)});
+  StartNext();
+}
+
+void CpuPool::StartNext() {
+  while (active_ < cores_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    sim_->Schedule(job.work, [this, done = std::move(job.done)] {
+      --active_;
+      if (done) {
+        done();
+      }
+      StartNext();
+    });
+  }
+}
+
+}  // namespace mitt::cluster

@@ -1,0 +1,46 @@
+// A node's CPU: `cores` identical servers draining a FIFO queue of CPU
+// bursts. Captures the hedge-induced CPU contention of §7.5: when more
+// request-handler threads are runnable than there are hardware threads
+// (12 threads on an 8-thread machine), handler bursts queue and the extra
+// wait shows up as a latency tail.
+
+#ifndef MITTOS_CLUSTER_CPU_POOL_H_
+#define MITTOS_CLUSTER_CPU_POOL_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/common/time.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::cluster {
+
+class CpuPool {
+ public:
+  CpuPool(sim::Simulator* sim, int cores);
+
+  // Consumes `work` of CPU, then calls `done`. Zero work calls back on the
+  // next event (still through the queue, preserving FIFO fairness).
+  void Execute(DurationNs work, std::function<void()> done);
+
+  int active() const { return active_; }
+  int cores() const { return cores_; }
+  size_t queued() const { return queue_.size(); }
+
+ private:
+  struct Job {
+    DurationNs work;
+    std::function<void()> done;
+  };
+
+  void StartNext();
+
+  sim::Simulator* sim_;
+  int cores_;
+  int active_ = 0;
+  std::deque<Job> queue_;
+};
+
+}  // namespace mitt::cluster
+
+#endif  // MITTOS_CLUSTER_CPU_POOL_H_

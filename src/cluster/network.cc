@@ -1,0 +1,14 @@
+#include "src/cluster/network.h"
+
+namespace mitt::cluster {
+
+Network::Network(sim::Simulator* sim, const NetworkParams& params, uint64_t seed)
+    : sim_(sim), params_(params), rng_(seed) {}
+
+void Network::Deliver(std::function<void()> fn) {
+  const DurationNs jitter =
+      params_.jitter > 0 ? rng_.UniformInt(-params_.jitter, params_.jitter) : 0;
+  sim_->Schedule(params_.one_way + jitter, std::move(fn));
+}
+
+}  // namespace mitt::cluster

@@ -1,0 +1,39 @@
+// Point-to-point datacenter network model. The paper's testbed and EC2 both
+// show ~0.3 ms for a failover hop (§3.3); we model a one-way message latency
+// of ~150 us with small jitter, so a request/reply round trip is ~0.3 ms.
+
+#ifndef MITTOS_CLUSTER_NETWORK_H_
+#define MITTOS_CLUSTER_NETWORK_H_
+
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::cluster {
+
+struct NetworkParams {
+  DurationNs one_way = Micros(150);
+  DurationNs jitter = Micros(15);  // Uniform +/- jitter.
+};
+
+class Network {
+ public:
+  Network(sim::Simulator* sim, const NetworkParams& params, uint64_t seed);
+
+  // Delivers `fn` after one network hop.
+  void Deliver(std::function<void()> fn);
+
+  DurationNs round_trip_estimate() const { return 2 * params_.one_way; }
+  const NetworkParams& params() const { return params_; }
+
+ private:
+  sim::Simulator* sim_;
+  NetworkParams params_;
+  Rng rng_;
+};
+
+}  // namespace mitt::cluster
+
+#endif  // MITTOS_CLUSTER_NETWORK_H_

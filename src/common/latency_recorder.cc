@@ -1,0 +1,103 @@
+#include "src/common/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mitt {
+
+void LatencyRecorder::Record(DurationNs latency) {
+  samples_.push_back(latency);
+  sorted_valid_ = false;
+}
+
+void LatencyRecorder::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void LatencyRecorder::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+DurationNs LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  if (p <= 0) {
+    return sorted_.front();
+  }
+  if (p >= 100) {
+    return sorted_.back();
+  }
+  const auto rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));
+  const size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+DurationNs LatencyRecorder::Min() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  return sorted_.front();
+}
+
+DurationNs LatencyRecorder::Max() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double LatencyRecorder::MeanNs() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::FractionBelow(DurationNs threshold) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<LatencyRecorder::CdfPoint> LatencyRecorder::CdfSeries(size_t points) const {
+  std::vector<CdfPoint> out;
+  if (samples_.empty() || points == 0) {
+    return out;
+  }
+  EnsureSorted();
+  out.reserve(points);
+  for (size_t i = 1; i <= points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points);
+    const auto idx = static_cast<size_t>(frac * static_cast<double>(sorted_.size() - 1));
+    out.push_back({sorted_[idx], frac});
+  }
+  return out;
+}
+
+double ReductionPercent(DurationNs mitt, DurationNs other) {
+  return ReductionPercent(static_cast<double>(mitt), static_cast<double>(other));
+}
+
+double ReductionPercent(double mitt, double other) {
+  if (other == 0.0) {
+    return 0.0;
+  }
+  return 100.0 * (other - mitt) / other;
+}
+
+}  // namespace mitt

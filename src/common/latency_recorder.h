@@ -1,0 +1,67 @@
+// Latency sample collection and percentile/CDF reporting.
+//
+// The paper reports almost everything as latency CDFs and percentile
+// reductions ("pY" notation, §7). LatencyRecorder keeps exact samples (the
+// experiments here are at most a few million IOs), and computes percentiles,
+// means, CDF series, and the paper's "% latency reduction" metric
+// (footnote 2: (T_other - T_mitt) / T_other).
+
+#ifndef MITTOS_COMMON_LATENCY_RECORDER_H_
+#define MITTOS_COMMON_LATENCY_RECORDER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace mitt {
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder() = default;
+
+  void Record(DurationNs latency);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Percentile in [0, 100]; p=50 is the median, p=100 the max. Returns 0 when
+  // empty. Uses nearest-rank on the sorted samples.
+  DurationNs Percentile(double p) const;
+
+  DurationNs Min() const;
+  DurationNs Max() const;
+  double MeanNs() const;
+
+  // Fraction of samples <= threshold (the CDF evaluated at `threshold`).
+  double FractionBelow(DurationNs threshold) const;
+
+  // Returns `points` (x=latency, y=cumulative fraction) pairs evenly spaced in
+  // rank, suitable for printing a CDF series the way the paper plots them.
+  struct CdfPoint {
+    DurationNs latency;
+    double fraction;
+  };
+  std::vector<CdfPoint> CdfSeries(size_t points) const;
+
+  const std::vector<DurationNs>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<DurationNs> samples_;
+  mutable std::vector<DurationNs> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// The paper's latency-reduction metric, in percent:
+//   100 * (other - mitt) / other.
+// Returns 0 when `other` is 0.
+double ReductionPercent(DurationNs mitt, DurationNs other);
+double ReductionPercent(double mitt, double other);
+
+}  // namespace mitt
+
+#endif  // MITTOS_COMMON_LATENCY_RECORDER_H_

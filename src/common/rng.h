@@ -1,0 +1,78 @@
+// Deterministic random-number generation for the simulation.
+//
+// Every component that needs randomness owns an Rng seeded from the
+// experiment seed, so experiments replay bit-for-bit. The distributions here
+// cover everything the noise models and workloads need: uniform, exponential,
+// lognormal, Pareto (heavy tails), and Zipfian key popularity (YCSB).
+
+#ifndef MITTOS_COMMON_RNG_H_
+#define MITTOS_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mitt {
+
+// xoshiro256** — small, fast, high-quality, and unlike std::mt19937_64 its
+// output sequence is stable across standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Creates an independent stream; used to give each simulated node its own
+  // generator that does not perturb others.
+  Rng Fork();
+
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Lognormal parameterized by the *underlying* normal's mu/sigma.
+  double LogNormal(double mu, double sigma);
+
+  // Standard normal via Box-Muller (no cached spare: keeps replay simple).
+  double Normal(double mean, double stddev);
+
+  // Bounded Pareto on [lo, hi] with shape alpha (> 0); heavy-tailed noise.
+  double BoundedPareto(double lo, double hi, double alpha);
+
+  // Returns true with probability p.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipfian generator over [0, n) using the YCSB rejection-free method
+// (Gray et al.); theta defaults to the YCSB constant 0.99.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace mitt
+
+#endif  // MITTOS_COMMON_RNG_H_

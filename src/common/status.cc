@@ -1,0 +1,27 @@
+#include "src/common/status.h"
+
+namespace mitt {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kEbusy:
+      return "EBUSY";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace mitt

@@ -1,0 +1,56 @@
+// Error-code based status handling (no exceptions), in the spirit of
+// absl::Status but specialized for the MittOS interface: EBUSY is a
+// first-class, *expected* outcome of an SLO-aware IO, not an error.
+
+#ifndef MITTOS_COMMON_STATUS_H_
+#define MITTOS_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace mitt {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  // The OS predicts the IO's SLO cannot be met; the caller should fail over.
+  kEbusy = 1,
+  kNotFound = 2,
+  kTimeout = 3,
+  kInvalidArgument = 4,
+  kCancelled = 5,
+  kUnavailable = 6,
+  kInternal = 7,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// Lightweight value-type status. Copyable, trivially destructible.
+class Status {
+ public:
+  constexpr Status() : code_(StatusCode::kOk) {}
+  constexpr explicit Status(StatusCode code) : code_(code) {}
+
+  static constexpr Status Ok() { return Status(StatusCode::kOk); }
+  static constexpr Status Ebusy() { return Status(StatusCode::kEbusy); }
+  static constexpr Status NotFound() { return Status(StatusCode::kNotFound); }
+  static constexpr Status Timeout() { return Status(StatusCode::kTimeout); }
+  static constexpr Status InvalidArgument() { return Status(StatusCode::kInvalidArgument); }
+  static constexpr Status Cancelled() { return Status(StatusCode::kCancelled); }
+  static constexpr Status Unavailable() { return Status(StatusCode::kUnavailable); }
+  static constexpr Status Internal() { return Status(StatusCode::kInternal); }
+
+  constexpr bool ok() const { return code_ == StatusCode::kOk; }
+  constexpr bool busy() const { return code_ == StatusCode::kEbusy; }
+  constexpr StatusCode code() const { return code_; }
+
+  constexpr bool operator==(const Status& other) const { return code_ == other.code_; }
+
+  std::string_view name() const { return StatusCodeName(code_); }
+
+ private:
+  StatusCode code_;
+};
+
+}  // namespace mitt
+
+#endif  // MITTOS_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+// Minimal aligned-column ASCII table printer used by the benchmark harnesses
+// to print paper-style tables and CDF series.
+
+#ifndef MITTOS_COMMON_TABLE_H_
+#define MITTOS_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mitt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with columns padded to their widest cell, separated by two spaces,
+  // with a dashed rule under the header.
+  std::string ToString() const;
+
+  // Convenience: renders and writes to stdout.
+  void Print() const;
+
+  static std::string Num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mitt
+
+#endif  // MITTOS_COMMON_TABLE_H_

@@ -1,0 +1,23 @@
+#include "src/common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mitt {
+
+std::string FormatDuration(DurationNs d) {
+  char buf[32];
+  const double ad = std::abs(static_cast<double>(d));
+  if (ad >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(d));
+  } else if (ad >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMillis(d));
+  } else if (ad >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ToMicros(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(d));
+  }
+  return buf;
+}
+
+}  // namespace mitt

@@ -1,0 +1,39 @@
+// Simulated-time primitives shared by every MittOS module.
+//
+// All simulation time is kept as signed 64-bit nanoseconds. The paper's
+// quantities span 82 ns (AddrCheck) to hours (EC2 traces), which fits with
+// ~292 years of headroom.
+
+#ifndef MITTOS_COMMON_TIME_H_
+#define MITTOS_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mitt {
+
+// A point in simulated time, in nanoseconds since simulation start.
+using TimeNs = int64_t;
+
+// A span of simulated time, in nanoseconds.
+using DurationNs = int64_t;
+
+constexpr DurationNs kNanosecond = 1;
+constexpr DurationNs kMicrosecond = 1'000;
+constexpr DurationNs kMillisecond = 1'000'000;
+constexpr DurationNs kSecond = 1'000'000'000;
+
+constexpr DurationNs Micros(int64_t n) { return n * kMicrosecond; }
+constexpr DurationNs Millis(int64_t n) { return n * kMillisecond; }
+constexpr DurationNs Seconds(int64_t n) { return n * kSecond; }
+
+constexpr double ToMicros(DurationNs d) { return static_cast<double>(d) / kMicrosecond; }
+constexpr double ToMillis(DurationNs d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double ToSeconds(DurationNs d) { return static_cast<double>(d) / kSecond; }
+
+// Formats a duration with an auto-selected unit, e.g. "12.3ms" or "820ns".
+std::string FormatDuration(DurationNs d);
+
+}  // namespace mitt
+
+#endif  // MITTOS_COMMON_TIME_H_

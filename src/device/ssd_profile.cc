@@ -1,0 +1,112 @@
+#include "src/device/ssd_profile.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace mitt::device {
+namespace {
+
+// Submits `reqs` together and runs until all complete. Returns each request's
+// completion latency in submission order.
+std::vector<DurationNs> MeasureBatch(sim::Simulator* sim, SsdModel* ssd,
+                                     std::vector<std::unique_ptr<sched::IoRequest>> reqs) {
+  const TimeNs start = sim->Now();
+  size_t remaining = reqs.size();
+  std::vector<DurationNs> latencies(reqs.size(), 0);
+  std::vector<sched::IoRequest*> raw;
+  raw.reserve(reqs.size());
+  for (auto& r : reqs) {
+    raw.push_back(r.get());
+  }
+  ssd->set_completion_listener([&](sched::IoRequest* done) {
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == done) {
+        latencies[i] = sim->Now() - start;
+        --remaining;
+        break;
+      }
+    }
+  });
+  for (auto* r : raw) {
+    ssd->Submit(r);
+  }
+  sim->RunUntilPredicate([&] { return remaining == 0; });
+  ssd->set_completion_listener(nullptr);
+  return latencies;
+}
+
+std::unique_ptr<sched::IoRequest> MakePageIo(const SsdModel& ssd, sched::IoOp op,
+                                             int64_t logical_page, uint64_t id) {
+  auto req = std::make_unique<sched::IoRequest>();
+  req->id = id;
+  req->op = op;
+  req->offset = logical_page * ssd.params().page_size;
+  req->size = ssd.params().page_size;
+  return req;
+}
+
+}  // namespace
+
+SsdProfile ProfileSsd(sim::Simulator* sim, SsdModel* ssd, int samples) {
+  SsdProfile profile;
+  uint64_t next_id = 0x55D0'0000;
+  const int64_t stride = ssd->num_chips();
+
+  // 1. End-to-end page read on an idle chip.
+  double read_sum = 0;
+  for (int i = 0; i < samples; ++i) {
+    std::vector<std::unique_ptr<sched::IoRequest>> batch;
+    batch.push_back(MakePageIo(*ssd, sched::IoOp::kRead, i * stride, next_id++));
+    read_sum += static_cast<double>(MeasureBatch(sim, ssd, std::move(batch))[0]);
+  }
+  profile.page_read_total = static_cast<DurationNs>(read_sum / samples);
+
+  // 2. Channel queueing delay: fire one read at every chip behind channel 0
+  // simultaneously; the spread between consecutive completions is the per-IO
+  // channel delay.
+  {
+    const int chips_behind = ssd->params().chips_per_channel;
+    std::vector<std::unique_ptr<sched::IoRequest>> batch;
+    for (int c = 0; c < chips_behind; ++c) {
+      // Chip ids on channel 0 are c * num_channels; logical pages equal to
+      // that chip id (mod num_chips) land there.
+      const int chip = c * ssd->params().num_channels;
+      batch.push_back(MakePageIo(*ssd, sched::IoOp::kRead, chip, next_id++));
+    }
+    auto lats = MeasureBatch(sim, ssd, std::move(batch));
+    std::sort(lats.begin(), lats.end());
+    double spread = 0;
+    for (size_t i = 1; i < lats.size(); ++i) {
+      spread += static_cast<double>(lats[i] - lats[i - 1]);
+    }
+    profile.channel_delay =
+        static_cast<DurationNs>(spread / static_cast<double>(lats.size() - 1));
+  }
+
+  // 3. Program time per block position on chip 0.
+  const int ppb = ssd->params().pages_per_block;
+  profile.program_time_by_block_pos.resize(static_cast<size_t>(ppb));
+  for (int pos = 0; pos < ppb; ++pos) {
+    // In-chip page index == block position (first block); logical page is
+    // pos * num_chips() for chip 0.
+    std::vector<std::unique_ptr<sched::IoRequest>> batch;
+    batch.push_back(
+        MakePageIo(*ssd, sched::IoOp::kWrite, static_cast<int64_t>(pos) * stride, next_id++));
+    const DurationNs lat = MeasureBatch(sim, ssd, std::move(batch))[0];
+    // Subtract the inbound channel transfer to get chip program time.
+    profile.program_time_by_block_pos[static_cast<size_t>(pos)] = lat - profile.channel_delay;
+  }
+
+  // 4. Erase.
+  {
+    std::vector<std::unique_ptr<sched::IoRequest>> batch;
+    batch.push_back(MakePageIo(*ssd, sched::IoOp::kErase, 0, next_id++));
+    batch.back()->op = sched::IoOp::kErase;
+    profile.erase_time = MeasureBatch(sim, ssd, std::move(batch))[0];
+  }
+
+  return profile;
+}
+
+}  // namespace mitt::device

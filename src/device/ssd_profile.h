@@ -1,0 +1,46 @@
+// SSD latency profiling (§4.3).
+//
+// MittSSD needs the chip-level read/write latencies and the channel speed,
+// "which can be obtained from the vendor's NAND specification or profiling."
+// This profiler measures them the way the paper describes: it injects a
+// single page read to an idle chip (end-to-end page read time), concurrent
+// reads to multiple chips behind one channel (per-IO channel queueing delay),
+// one program per block position (the 512-item "11111121121122...2112"
+// pattern), and an erase.
+
+#ifndef MITTOS_DEVICE_SSD_PROFILE_H_
+#define MITTOS_DEVICE_SSD_PROFILE_H_
+
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/device/ssd_model.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::device {
+
+struct SsdProfile {
+  DurationNs page_read_total = 0;  // Chip read + channel transfer (~100 us).
+  DurationNs channel_delay = 0;    // Queueing delay per outstanding same-channel IO.
+  DurationNs erase_time = 0;
+  // Program time for each page position within a block (512 items for the
+  // paper's device); stored once because "the pattern is the same for every
+  // block."
+  std::vector<DurationNs> program_time_by_block_pos;
+
+  bool valid() const { return page_read_total > 0; }
+  DurationNs ProgramTime(int block_pos) const {
+    if (program_time_by_block_pos.empty()) {
+      return 0;
+    }
+    return program_time_by_block_pos[static_cast<size_t>(block_pos) %
+                                     program_time_by_block_pos.size()];
+  }
+};
+
+// One-time profiling pass on a dedicated idle SSD.
+SsdProfile ProfileSsd(sim::Simulator* sim, SsdModel* ssd, int samples = 8);
+
+}  // namespace mitt::device
+
+#endif  // MITTOS_DEVICE_SSD_PROFILE_H_

@@ -1,0 +1,421 @@
+#include "src/harness/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/client/adaptive.h"
+#include "src/client/clone.h"
+#include "src/client/hedged.h"
+#include "src/client/mittos_client.h"
+#include "src/client/timeout.h"
+#include "src/common/table.h"
+#include "src/noise/noise_injector.h"
+#include "src/workload/macro_workload.h"
+
+namespace mitt::harness {
+namespace {
+
+constexpr DurationNs kFallbackDeadline = Millis(13);
+
+DurationNs Resolve(DurationNs value, DurationNs fallback) {
+  return value >= 0 ? value : fallback;
+}
+
+}  // namespace
+
+std::string_view StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kBase:
+      return "Base";
+    case StrategyKind::kAppTimeout:
+      return "AppTO";
+    case StrategyKind::kClone:
+      return "Clone";
+    case StrategyKind::kHedged:
+      return "Hedged";
+    case StrategyKind::kSnitch:
+      return "Snitch";
+    case StrategyKind::kC3:
+      return "C3";
+    case StrategyKind::kMittos:
+      return "MittOS";
+    case StrategyKind::kMittosWait:
+      return "MittOS+wait";
+  }
+  return "?";
+}
+
+noise::Ec2NoiseParams CompressedEc2Noise() {
+  noise::Ec2NoiseParams p;
+  p.mean_off = Millis(3500);
+  p.off_sigma = 1.1;
+  p.min_on = Millis(80);
+  p.max_on = Millis(600);
+  p.on_alpha = 1.3;
+  p.max_intensity = 4;
+  p.extra_stream_prob = 0.35;
+  p.hot_node_fraction = 0.15;
+  p.hot_node_off_scale = 0.5;
+  return p;
+}
+
+std::unique_ptr<client::GetStrategy> Experiment::MakeStrategy(StrategyKind kind,
+                                                              sim::Simulator* sim,
+                                                              cluster::Cluster* cluster) {
+  const uint64_t seed = options_.seed ^ 0xC11E'47F0;
+  const DurationNs deadline = Resolve(options_.deadline, kFallbackDeadline);
+  switch (kind) {
+    case StrategyKind::kBase: {
+      client::TimeoutStrategy::Options opt;
+      opt.name = "Base";
+      opt.timeout = Seconds(30);  // The NoSQL-default coarse timeout (§2).
+      return std::make_unique<client::TimeoutStrategy>(sim, cluster, seed, opt);
+    }
+    case StrategyKind::kAppTimeout: {
+      client::TimeoutStrategy::Options opt;
+      opt.name = "AppTO";
+      opt.timeout = Resolve(options_.app_timeout, deadline);
+      opt.failover_on_timeout = options_.app_timeout_failover;
+      return std::make_unique<client::TimeoutStrategy>(sim, cluster, seed, opt);
+    }
+    case StrategyKind::kClone:
+      return std::make_unique<client::CloneStrategy>(sim, cluster, seed);
+    case StrategyKind::kHedged: {
+      client::HedgedStrategy::Options opt;
+      opt.hedge_delay = Resolve(options_.hedge_delay, deadline);
+      return std::make_unique<client::HedgedStrategy>(sim, cluster, seed, opt);
+    }
+    case StrategyKind::kSnitch:
+      return std::make_unique<client::SnitchStrategy>(sim, cluster, seed,
+                                                      client::SnitchStrategy::Options{});
+    case StrategyKind::kC3:
+      return std::make_unique<client::C3Strategy>(sim, cluster, seed,
+                                                  client::C3Strategy::Options{});
+    case StrategyKind::kMittos: {
+      client::MittosStrategy::Options opt;
+      opt.deadline = deadline;
+      return std::make_unique<client::MittosStrategy>(sim, cluster, seed, opt);
+    }
+    case StrategyKind::kMittosWait: {
+      client::MittosWaitStrategy::Options opt;
+      opt.deadline = deadline;
+      return std::make_unique<client::MittosWaitStrategy>(sim, cluster, seed, opt);
+    }
+  }
+  return nullptr;
+}
+
+void Experiment::CollectCounters(StrategyKind kind, const client::GetStrategy& strategy,
+                                 RunResult* out) {
+  switch (kind) {
+    case StrategyKind::kBase:
+    case StrategyKind::kAppTimeout:
+      out->timeouts_fired = static_cast<const client::TimeoutStrategy&>(strategy).timeouts_fired();
+      break;
+    case StrategyKind::kHedged:
+      out->hedges_sent = static_cast<const client::HedgedStrategy&>(strategy).hedges_sent();
+      break;
+    case StrategyKind::kMittos:
+      out->ebusy_failovers =
+          static_cast<const client::MittosStrategy&>(strategy).ebusy_failovers();
+      break;
+    case StrategyKind::kMittosWait:
+      out->ebusy_failovers =
+          static_cast<const client::MittosWaitStrategy&>(strategy).ebusy_failovers();
+      break;
+    default:
+      break;
+  }
+}
+
+RunResult Experiment::Run(StrategyKind kind) {
+  sim::Simulator sim;
+
+  cluster::Cluster::Options copt;
+  copt.num_nodes = options_.num_nodes;
+  copt.replication = std::min(3, options_.num_nodes);
+  copt.seed = options_.seed;
+  copt.shared_cpu_cores = options_.shared_cpu_cores;
+  copt.node.num_keys = options_.num_keys_per_node;
+  copt.node.access = options_.access;
+  copt.node.cpu_cores = options_.cpu_cores;
+  copt.node.handler_cpu = options_.handler_cpu;
+  copt.node.os.backend = options_.backend;
+  copt.node.os.cache.capacity_pages = options_.cache_pages;
+  copt.node.os.mitt_enabled =
+      kind == StrategyKind::kMittos || kind == StrategyKind::kMittosWait;
+  copt.node.os.predictor = options_.predictor;
+  copt.node.os.mitt_cfq = options_.mitt_cfq;
+  copt.node.os.mitt_ssd = options_.mitt_ssd;
+  copt.node.os.seed = options_.seed;
+
+  cluster::Cluster cluster(&sim, copt);
+  if (options_.warm_fraction > 0) {
+    cluster.WarmAll(options_.warm_fraction);
+  }
+
+  // --- Noise (identical schedules for every strategy) ---
+  std::vector<std::unique_ptr<noise::IoNoiseInjector>> io_noise;
+  std::vector<std::unique_ptr<noise::CacheNoiseInjector>> cache_noise;
+  std::vector<std::unique_ptr<workload::MacroWorkload>> macro_noise;
+  const noise::Ec2NoiseModel ec2(options_.ec2, options_.seed ^ 0xEC2);
+
+  auto make_io_injector = [&](int node, std::vector<noise::NoiseEpisode> schedule) {
+    kv::DocStoreNode& n = cluster.node(node);
+    const int64_t noise_file_size = 200LL << 30;
+    const uint64_t noise_file = n.os().CreateFile(noise_file_size);
+    noise::IoNoiseInjector::Options opt;
+    opt.io_size = options_.noise_io_size;
+    opt.streams_per_intensity = options_.noise_streams;
+    opt.op = options_.noise_op;
+    opt.pid = 9000 + node;
+    opt.io_class = options_.noise_class;
+    opt.priority = options_.noise_priority;
+    io_noise.push_back(std::make_unique<noise::IoNoiseInjector>(
+        &sim, &n.os(), noise_file, noise_file_size, std::move(schedule), opt,
+        options_.seed ^ (0x4015EULL + static_cast<uint64_t>(node))));
+    io_noise.back()->Start();
+  };
+
+  switch (options_.noise) {
+    case NoiseKind::kNone:
+      break;
+    case NoiseKind::kEc2:
+      for (int node = 0; node < options_.num_nodes; ++node) {
+        if (options_.noise_only_node >= 0 && node != options_.noise_only_node) {
+          continue;
+        }
+        make_io_injector(node, ec2.GenerateSchedule(node, options_.noise_horizon));
+      }
+      break;
+    case NoiseKind::kContinuous: {
+      const int node = options_.pin_primary_node >= 0 ? options_.pin_primary_node : 0;
+      make_io_injector(node, {noise::NoiseEpisode{0, options_.noise_horizon,
+                                                  options_.continuous_intensity}});
+      break;
+    }
+    case NoiseKind::kCacheDrop:
+    case NoiseKind::kStaticCacheDrop:
+      for (int node = 0; node < options_.num_nodes; ++node) {
+        if (options_.noise_only_node >= 0 && node != options_.noise_only_node) {
+          continue;
+        }
+        kv::DocStoreNode& n = cluster.node(node);
+        noise::CacheNoiseInjector::Options opt;
+        opt.file = n.data_file();
+        opt.file_size = n.data_file_size();
+        std::vector<noise::NoiseEpisode> schedule;
+        if (options_.noise == NoiseKind::kStaticCacheDrop) {
+          // One permanent swap-out whose size varies per node, mimicking the
+          // per-node cache-miss-rate spread of Fig. 3c.
+          opt.drop_fraction_per_intensity =
+              options_.cache_drop_fraction * (0.5 + 0.25 * (node % 5));
+          opt.restore = false;
+          schedule.push_back({0, options_.noise_horizon, 1});
+        } else {
+          opt.drop_fraction_per_intensity = options_.cache_drop_fraction;
+          schedule = ec2.GenerateSchedule(node, options_.noise_horizon);
+        }
+        cache_noise.push_back(std::make_unique<noise::CacheNoiseInjector>(
+            &sim, &n.os(), std::move(schedule), opt,
+            options_.seed ^ (0xCACEULL + static_cast<uint64_t>(node))));
+        cache_noise.back()->Start();
+      }
+      break;
+    case NoiseKind::kRotating:
+      for (int node = 0; node < options_.num_nodes; ++node) {
+        std::vector<noise::NoiseEpisode> schedule;
+        for (TimeNs t = 0; t < options_.noise_horizon;
+             t += options_.rotate_period * options_.num_nodes) {
+          schedule.push_back({t + node * options_.rotate_period, options_.rotate_period, 4});
+        }
+        make_io_injector(node, std::move(schedule));
+      }
+      break;
+    case NoiseKind::kMacroMix:
+      for (int node = 0; node < options_.num_nodes; ++node) {
+        kv::DocStoreNode& n = cluster.node(node);
+        const int64_t file_size = 100LL << 30;
+        const uint64_t file = n.os().CreateFile(file_size);
+        workload::MacroWorkload::Options opt;
+        opt.profile = static_cast<workload::MacroProfile>(node % 3);
+        opt.threads = 3;
+        opt.pid = 8000 + node;
+        macro_noise.push_back(std::make_unique<workload::MacroWorkload>(
+            &sim, &n.os(), file, file_size, opt,
+            options_.seed ^ (0x3ACULL + static_cast<uint64_t>(node))));
+        macro_noise.back()->Start(options_.noise_horizon);
+        if (node % 4 == 0) {
+          workload::MacroWorkload::Options hopt;
+          hopt.profile = workload::MacroProfile::kHadoop;
+          hopt.threads = 2;
+          hopt.pid = 8500 + node;
+          macro_noise.push_back(std::make_unique<workload::MacroWorkload>(
+              &sim, &n.os(), file, file_size, hopt,
+              options_.seed ^ (0x4ADULL + static_cast<uint64_t>(node))));
+          macro_noise.back()->Start(options_.noise_horizon);
+        }
+      }
+      break;
+  }
+
+  // --- Strategy & clients ---
+  auto strategy = MakeStrategy(kind, &sim, &cluster);
+  RunResult result;
+  result.name = std::string(StrategyKindName(kind));
+
+  const size_t target = options_.warmup_requests + options_.measure_requests;
+  const uint64_t keyspace = static_cast<uint64_t>(options_.num_keys_per_node) *
+                            static_cast<uint64_t>(options_.num_nodes);
+  size_t issued = 0;
+  size_t completed = 0;
+
+  struct Client {
+    std::unique_ptr<workload::YcsbWorkload> workload;
+    Rng rng{0};
+  };
+  auto clients = std::make_shared<std::vector<Client>>(
+      static_cast<size_t>(options_.num_clients));
+  for (int c = 0; c < options_.num_clients; ++c) {
+    workload::YcsbWorkload::Options wopt;
+    wopt.num_keys = keyspace;
+    wopt.distribution = options_.distribution;
+    wopt.seed = options_.seed ^ (0xC0FFEEULL + static_cast<uint64_t>(c));
+    (*clients)[static_cast<size_t>(c)].workload = std::make_unique<workload::YcsbWorkload>(wopt);
+    (*clients)[static_cast<size_t>(c)].rng = Rng(wopt.seed ^ 0x77);
+  }
+
+  auto next_key = [&, this](Client& cl) -> uint64_t {
+    for (int attempt = 0; attempt < 512; ++attempt) {
+      const uint64_t key = cl.workload->Next().key;
+      if (options_.pin_primary_node < 0 ||
+          cluster.ReplicasOf(key)[0] == options_.pin_primary_node) {
+        return key;
+      }
+    }
+    return 0;
+  };
+
+  // Closed-loop client driver.
+  auto issue = std::make_shared<std::function<void(size_t)>>();
+  *issue = [&, this, issue](size_t client_idx) {
+    if (issued >= target) {
+      return;
+    }
+    const size_t request_index = issued++;
+    Client& cl = (*clients)[client_idx];
+    const TimeNs start = sim.Now();
+    const bool measured = request_index >= options_.warmup_requests;
+    auto remaining = std::make_shared<int>(options_.scale_factor);
+    for (int s = 0; s < options_.scale_factor; ++s) {
+      const uint64_t key = next_key(cl);
+      const TimeNs get_start = sim.Now();
+      strategy->Get(key, [&, issue, client_idx, start, get_start, measured, remaining](
+                             const client::GetResult& get_result) {
+        if (measured) {
+          result.get_latencies.Record(sim.Now() - get_start);
+        }
+        if (!get_result.status.ok() && !get_result.status.busy()) {
+          ++result.user_errors;
+        }
+        if (--*remaining > 0) {
+          return;
+        }
+        if (measured) {
+          result.user_latencies.Record(sim.Now() - start);
+        }
+        ++completed;
+        (*issue)(client_idx);
+      });
+    }
+  };
+  for (int c = 0; c < options_.num_clients; ++c) {
+    (*issue)(static_cast<size_t>(c));
+  }
+
+  sim.RunUntilPredicate([&] { return completed >= target; });
+
+  result.requests = completed;
+  for (const auto& injector : io_noise) {
+    result.noise_ios += injector->ios_issued();
+  }
+  result.sim_duration = sim.Now();
+  CollectCounters(kind, *strategy, &result);
+  return result;
+}
+
+std::vector<RunResult> Experiment::RunAll(const std::vector<StrategyKind>& kinds) {
+  std::vector<RunResult> results;
+  RunResult base = Run(StrategyKind::kBase);
+  derived_p95_ = base.get_latencies.Percentile(95);
+  if (derived_p95_ <= 0) {
+    derived_p95_ = kFallbackDeadline;
+  }
+  if (options_.deadline < 0) {
+    options_.deadline = derived_p95_;
+  }
+  if (options_.hedge_delay < 0) {
+    options_.hedge_delay = derived_p95_;
+  }
+  if (options_.app_timeout < 0) {
+    options_.app_timeout = derived_p95_;
+  }
+  for (const StrategyKind kind : kinds) {
+    if (kind == StrategyKind::kBase) {
+      results.push_back(std::move(base));
+      continue;
+    }
+    results.push_back(Run(kind));
+  }
+  return results;
+}
+
+void PrintPercentileTable(const std::vector<RunResult>& results,
+                          const std::vector<double>& percentiles, bool user_level) {
+  std::vector<std::string> header = {"pct"};
+  for (const auto& r : results) {
+    header.push_back(r.name + " (ms)");
+  }
+  Table table(std::move(header));
+  for (const double p : percentiles) {
+    std::vector<std::string> row = {"p" + Table::Num(p, p == static_cast<int>(p) ? 0 : 1)};
+    for (const auto& r : results) {
+      const auto& rec = user_level ? r.user_latencies : r.get_latencies;
+      row.push_back(Table::Num(ToMillis(rec.Percentile(p)), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  {
+    std::vector<std::string> row = {"avg"};
+    for (const auto& r : results) {
+      const auto& rec = user_level ? r.user_latencies : r.get_latencies;
+      row.push_back(Table::Num(rec.MeanNs() / kMillisecond, 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+void PrintReductionTable(const RunResult& mitt, const std::vector<RunResult>& others,
+                         const std::vector<double>& percentiles, bool user_level) {
+  std::vector<std::string> header = {"vs"};
+  for (const double p : percentiles) {
+    header.push_back("p" + Table::Num(p, 0) + " (%)");
+  }
+  header.push_back("avg (%)");
+  Table table(std::move(header));
+  const auto& mitt_rec = user_level ? mitt.user_latencies : mitt.get_latencies;
+  for (const auto& other : others) {
+    const auto& other_rec = user_level ? other.user_latencies : other.get_latencies;
+    std::vector<std::string> row = {other.name};
+    for (const double p : percentiles) {
+      row.push_back(
+          Table::Num(ReductionPercent(mitt_rec.Percentile(p), other_rec.Percentile(p)), 1));
+    }
+    row.push_back(Table::Num(ReductionPercent(mitt_rec.MeanNs(), other_rec.MeanNs()), 1));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace mitt::harness

@@ -1,0 +1,160 @@
+// Shared experiment driver used by the benchmark binaries and examples.
+//
+// An Experiment describes one of the paper's evaluation setups: a cluster of
+// DocStore nodes on a chosen backend (disk+CFQ, disk+noop, SSD, or cache-
+// resident data), a noise regime (EC2 replay, continuous one-node noise,
+// cache drops, rotating contention, or macro workload mixes), and a YCSB
+// client population with a scale factor. Run(kind) builds a *fresh* world
+// with identical seeds for every strategy, so CDFs are comparable point by
+// point — the simulated analogue of the paper's noise replays (§7.2).
+//
+// Methodology detail preserved from the paper: deadline, timeout, and hedge
+// values all default to the p95 latency observed on a Base run with the same
+// seeds ("we use 13ms, the p95 latency, for deadline and timeout values").
+
+#ifndef MITTOS_HARNESS_EXPERIMENT_H_
+#define MITTOS_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/strategy.h"
+#include "src/cluster/cluster.h"
+#include "src/common/latency_recorder.h"
+#include "src/kv/doc_store_node.h"
+#include "src/noise/ec2_noise.h"
+#include "src/os/os.h"
+#include "src/workload/ycsb.h"
+
+namespace mitt::harness {
+
+enum class NoiseKind {
+  kNone,
+  kEc2,           // Per-node EC2-style bursty episodes (IO noise).
+  kContinuous,    // One node under constant contention (§7.1 micro).
+  kCacheDrop,       // Episodic page-cache eviction (transient balloons).
+  kStaticCacheDrop, // One-time swap-out of a per-node fraction (§7.1, §7.4:
+                    // "we swapped out P% of the cached data ... manual
+                    // swapping"). No restore; faults heal pages on access.
+  kRotating,      // 1-busy/(N-1)-free rotating every period (§7.8.3, §2).
+  kMacroMix,      // filebench + Hadoop tenants on every node (§7.8.1).
+};
+
+enum class StrategyKind {
+  kBase,
+  kAppTimeout,
+  kClone,
+  kHedged,
+  kSnitch,
+  kC3,
+  kMittos,
+  kMittosWait,  // §7.8.1 extension: EBUSY carries the predicted wait.
+};
+
+std::string_view StrategyKindName(StrategyKind kind);
+
+struct ExperimentOptions {
+  // Topology & workload.
+  int num_nodes = 20;
+  int num_clients = 20;
+  int scale_factor = 1;  // SF parallel gets per user request (§7.3).
+  size_t measure_requests = 12000;
+  size_t warmup_requests = 400;
+  workload::KeyDistribution distribution = workload::KeyDistribution::kUniform;
+  int64_t num_keys_per_node = 1 << 21;  // 8 GB of 4 KB slots on disk nodes.
+  // Pin all keys so their primary replica is this node (micro experiments
+  // direct all gets at the noisy node); -1 disables.
+  int pin_primary_node = -1;
+
+  // Node / OS configuration.
+  os::BackendKind backend = os::BackendKind::kDiskCfq;
+  kv::AccessPath access = kv::AccessPath::kRead;
+  size_t cache_pages = 1 << 17;  // 512 MB page cache.
+  double warm_fraction = 0.0;
+  int cpu_cores = 8;
+  int shared_cpu_cores = 0;  // >0: all nodes share one CPU pool (§7.5).
+  DurationNs handler_cpu = Micros(30);  // Per-request handler CPU burst.
+  os::PredictorOptions predictor;
+  os::MittCfqOptions mitt_cfq;
+  os::MittSsdOptions mitt_ssd;
+
+  // SLO / strategy parameters. Values <0 mean "derive from the Base run's
+  // p95" via RunAll().
+  DurationNs deadline = -2;
+  DurationNs hedge_delay = -2;
+  DurationNs app_timeout = -2;
+  bool app_timeout_failover = true;
+
+  // Noise.
+  NoiseKind noise = NoiseKind::kEc2;
+  noise::Ec2NoiseParams ec2;
+  int64_t noise_io_size = 1 << 20;
+  sched::IoOp noise_op = sched::IoOp::kRead;
+  sched::IoClass noise_class = sched::IoClass::kBestEffort;
+  int8_t noise_priority = 4;
+  int noise_streams = 2;            // Streams per intensity unit.
+  int continuous_intensity = 2;     // Intensity for kContinuous.
+  int noise_only_node = -1;         // >=0: restrict noise to this node.
+  double cache_drop_fraction = 0.2;
+  DurationNs rotate_period = Seconds(1);
+  TimeNs noise_horizon = Seconds(120);
+
+  uint64_t seed = 42;
+};
+
+struct RunResult {
+  std::string name;
+  LatencyRecorder user_latencies;  // One sample per user request (max of SF gets).
+  LatencyRecorder get_latencies;   // One sample per individual get.
+  uint64_t requests = 0;
+  uint64_t ebusy_failovers = 0;
+  uint64_t hedges_sent = 0;
+  uint64_t timeouts_fired = 0;
+  uint64_t user_errors = 0;  // Timeout surfaced to the user (no failover).
+  uint64_t noise_ios = 0;    // IOs the noise injectors issued during the run.
+  TimeNs sim_duration = 0;
+};
+
+// Compressed EC2 noise preset: same per-node busy fraction and sub-second
+// burstiness as §6, but with shorter quiet gaps so a few simulated minutes of
+// workload meet enough episodes for stable p95-p99 statistics.
+noise::Ec2NoiseParams CompressedEc2Noise();
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentOptions& options) : options_(options) {}
+
+  // Builds a fresh cluster+noise world and drives the workload through the
+  // given strategy.
+  RunResult Run(StrategyKind kind);
+
+  // Runs Base first, derives p95-based deadline/hedge/timeout when those are
+  // negative, then runs the remaining kinds. Results are in input order with
+  // Base first.
+  std::vector<RunResult> RunAll(const std::vector<StrategyKind>& kinds);
+
+  const ExperimentOptions& options() const { return options_; }
+  DurationNs derived_p95() const { return derived_p95_; }
+
+ private:
+  struct World;
+
+  std::unique_ptr<client::GetStrategy> MakeStrategy(StrategyKind kind, sim::Simulator* sim,
+                                                    cluster::Cluster* cluster);
+  void CollectCounters(StrategyKind kind, const client::GetStrategy& strategy, RunResult* out);
+
+  ExperimentOptions options_;
+  DurationNs derived_p95_ = 0;
+};
+
+// Prints a paper-style CDF comparison (one column per result, rows at fixed
+// percentiles) plus the %-reduction table of Fig. 5b/6d.
+void PrintPercentileTable(const std::vector<RunResult>& results,
+                          const std::vector<double>& percentiles, bool user_level);
+void PrintReductionTable(const RunResult& mitt, const std::vector<RunResult>& others,
+                         const std::vector<double>& percentiles, bool user_level);
+
+}  // namespace mitt::harness
+
+#endif  // MITTOS_HARNESS_EXPERIMENT_H_

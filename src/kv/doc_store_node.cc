@@ -1,0 +1,97 @@
+#include "src/kv/doc_store_node.h"
+
+#include <utility>
+
+namespace mitt::kv {
+
+DocStoreNode::DocStoreNode(sim::Simulator* sim, int node_id, const Options& options,
+                           cluster::CpuPool* shared_cpu)
+    : sim_(sim), node_id_(node_id), options_(options) {
+  os::OsOptions os_options = options_.os;
+  os_options.seed ^= static_cast<uint64_t>(node_id) * 0x1000'0001ULL;
+  os_ = std::make_unique<os::Os>(sim_, os_options);
+  if (shared_cpu != nullptr) {
+    cpu_ = shared_cpu;
+  } else {
+    owned_cpu_ = std::make_unique<cluster::CpuPool>(sim_, options_.cpu_cores);
+    cpu_ = owned_cpu_.get();
+  }
+  data_file_ = os_->CreateFile(data_file_size());
+}
+
+void DocStoreNode::WarmCache(double fraction) {
+  const auto warm_keys =
+      static_cast<int64_t>(static_cast<double>(options_.num_keys) * fraction);
+  for (int64_t k = 0; k < warm_keys; ++k) {
+    os_->Prefault(data_file_, k * options_.slot_size, options_.doc_size);
+  }
+}
+
+void DocStoreNode::HandleGet(uint64_t key, DurationNs deadline,
+                             std::function<void(Status)> reply) {
+  HandleGetWithHint(key, deadline,
+                    [reply = std::move(reply)](Status s, DurationNs) { reply(s); });
+}
+
+void DocStoreNode::HandleGetWithHint(uint64_t key, DurationNs deadline, RichReplyFn reply) {
+  ++gets_served_;
+  cpu_->Execute(options_.handler_cpu / 2, [this, key, deadline, reply = std::move(reply)] {
+    DoRead(key, deadline, std::move(reply));
+  });
+}
+
+void DocStoreNode::DoRead(uint64_t key, DurationNs deadline, RichReplyFn reply) {
+  const int64_t offset = OffsetOfKey(key);
+
+  auto finish = [this, reply = std::move(reply)](Status status, DurationNs hint) {
+    if (status.busy()) {
+      ++ebusy_returned_;
+    }
+    // Reply serialization plus (optionally) the C++ exception unwind the
+    // paper eliminated with the exceptionless retry path.
+    DurationNs cost = options_.handler_cpu / 2;
+    if (status.busy() && options_.exception_on_ebusy) {
+      cost += options_.exception_cost;
+    }
+    cpu_->Execute(cost, [reply, status, hint] { reply(status, hint); });
+  };
+
+  if (options_.access == AccessPath::kMmapAddrCheck) {
+    const auto check = os_->AddrCheck(data_file_, offset, options_.doc_size, deadline);
+    if (check.status.busy()) {
+      // Fail over instantly; the OS keeps swapping the page in behind us.
+      // The wait hint is the device floor (the page must come off the disk).
+      const DurationNs hint = os_->MinDeviceLatency();
+      sim_->Schedule(check.cost, [finish, hint] { finish(Status::Ebusy(), hint); });
+      return;
+    }
+    sim_->Schedule(check.cost, [this, offset, finish] {
+      os_->MmapAccess(data_file_, offset, options_.doc_size, options_.server_pid,
+                      [finish](Status s) { finish(s, 0); });
+    });
+    return;
+  }
+
+  os::Os::ReadArgs args;
+  args.file = data_file_;
+  args.offset = offset;
+  args.size = options_.doc_size;
+  args.deadline = deadline;
+  args.pid = options_.server_pid;
+  os_->ReadWithWaitHint(args, [finish](Status s, DurationNs hint) { finish(s, hint); });
+}
+
+void DocStoreNode::HandlePut(uint64_t key, std::function<void(Status)> reply) {
+  cpu_->Execute(options_.handler_cpu / 2, [this, key, reply = std::move(reply)] {
+    os::Os::WriteArgs args;
+    args.file = data_file_;
+    args.offset = OffsetOfKey(key);
+    args.size = options_.doc_size;
+    args.pid = options_.server_pid;
+    os_->Write(args, [this, reply](Status s) {
+      cpu_->Execute(options_.handler_cpu / 2, [reply, s] { reply(s); });
+    });
+  });
+}
+
+}  // namespace mitt::kv

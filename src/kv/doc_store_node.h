@@ -1,0 +1,107 @@
+// DocStoreNode: one MongoDB-like storage server (§5).
+//
+// A node stores `num_keys` fixed-size documents in one data file on its own
+// OS instance. Reads follow one of two access paths, matching the paper's two
+// MongoDB modifications:
+//
+//   * kMmapAddrCheck — MongoDB's default mmap() data access, guarded by the
+//     new addrcheck() syscall (82 ns) before dereferencing; EBUSY fails over
+//     without waiting while the OS swaps the page in, in the background.
+//   * kRead — the read(..., deadline) syscall; the deadline propagates into
+//     the IO scheduler, where MittNoop/MittCFQ/MittSSD accept or reject.
+//
+// Every request costs handler CPU on the node's CpuPool (Fig. 8's contention
+// lives here), and EBUSY handling is "exceptionless" by default — the paper
+// measured 200 us for a C++ exception round trip and added a direct retry
+// path; `exception_on_ebusy` restores the expensive path for ablation.
+
+#ifndef MITTOS_KV_DOC_STORE_NODE_H_
+#define MITTOS_KV_DOC_STORE_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/cluster/cpu_pool.h"
+#include "src/common/status.h"
+#include "src/os/os.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::kv {
+
+enum class AccessPath {
+  kMmapAddrCheck,
+  kRead,
+};
+
+class DocStoreNode {
+ public:
+  struct Options {
+    int64_t num_keys = 1 << 20;
+    int64_t doc_size = 1024;   // 1 KB documents (YCSB workloads, §7).
+    int64_t slot_size = 4096;  // One page per document slot.
+    AccessPath access = AccessPath::kRead;
+    int cpu_cores = 8;
+    DurationNs handler_cpu = Micros(30);   // Parse + dispatch + reply.
+    DurationNs exception_cost = Micros(200);
+    bool exception_on_ebusy = false;  // Paper default: exceptionless path.
+    int32_t server_pid = 1;
+    os::OsOptions os;
+  };
+
+  // `shared_cpu` (optional) makes several nodes contend for one physical
+  // CPU pool — the §7.5 setup of six MongoDB processes on one 8-thread
+  // machine. When null the node owns its own pool.
+  DocStoreNode(sim::Simulator* sim, int node_id, const Options& options,
+               cluster::CpuPool* shared_cpu = nullptr);
+
+  DocStoreNode(const DocStoreNode&) = delete;
+  DocStoreNode& operator=(const DocStoreNode&) = delete;
+
+  // Serves one get(). `deadline` of sched::kNoDeadline means no SLO (vanilla
+  // request). Replies with kOk or kEbusy.
+  void HandleGet(uint64_t key, DurationNs deadline, std::function<void(Status)> reply);
+
+  // §7.8.1 extension: EBUSY replies carry the OS' predicted wait so the
+  // client can pick the least-busy replica when all replicas reject.
+  using RichReplyFn = std::function<void(Status, DurationNs predicted_wait)>;
+  void HandleGetWithHint(uint64_t key, DurationNs deadline, RichReplyFn reply);
+
+  // Serves one put() — buffered write (§7.8.6).
+  void HandlePut(uint64_t key, std::function<void(Status)> reply);
+
+  // Pre-loads a fraction of the documents into the OS cache.
+  void WarmCache(double fraction);
+
+  int node_id() const { return node_id_; }
+  os::Os& os() { return *os_; }
+  cluster::CpuPool& cpu() { return *cpu_; }
+  bool owns_cpu() const { return owned_cpu_ != nullptr; }
+  uint64_t data_file() const { return data_file_; }
+  int64_t data_file_size() const { return options_.num_keys * options_.slot_size; }
+  const Options& options() const { return options_; }
+  uint64_t gets_served() const { return gets_served_; }
+  uint64_t ebusy_returned() const { return ebusy_returned_; }
+
+ private:
+  int64_t OffsetOfKey(uint64_t key) const {
+    return static_cast<int64_t>(key % static_cast<uint64_t>(options_.num_keys)) *
+           options_.slot_size;
+  }
+
+  void DoRead(uint64_t key, DurationNs deadline, RichReplyFn reply);
+
+  sim::Simulator* sim_;
+  int node_id_;
+  Options options_;
+  std::unique_ptr<os::Os> os_;
+  std::unique_ptr<cluster::CpuPool> owned_cpu_;
+  cluster::CpuPool* cpu_ = nullptr;
+  uint64_t data_file_ = 0;
+  uint64_t gets_served_ = 0;
+  uint64_t ebusy_returned_ = 0;
+};
+
+}  // namespace mitt::kv
+
+#endif  // MITTOS_KV_DOC_STORE_NODE_H_

@@ -1,0 +1,63 @@
+#include "src/kv/ring_coordinator.h"
+
+namespace mitt::kv {
+
+RingCoordinator::RingCoordinator(sim::Simulator* sim, std::vector<lsm::LsmNode*> nodes,
+                                 cluster::Network* network, const Options& options)
+    : sim_(sim), nodes_(std::move(nodes)), network_(network), options_(options) {}
+
+std::vector<int> RingCoordinator::ReplicasOf(uint64_t key) const {
+  std::vector<int> replicas;
+  const uint64_t mixed = key * 0xC2B2'AE3D'27D4'EB4FULL;
+  const int primary = static_cast<int>(mixed % nodes_.size());
+  for (int r = 0; r < options_.replication; ++r) {
+    replicas.push_back((primary + r) % static_cast<int>(nodes_.size()));
+  }
+  return replicas;
+}
+
+void RingCoordinator::Get(uint64_t key, std::function<void(Status)> done) {
+  Attempt(key, 0, std::make_shared<std::function<void(Status)>>(std::move(done)));
+}
+
+void RingCoordinator::Attempt(uint64_t key, int try_index,
+                              std::shared_ptr<std::function<void(Status)>> done) {
+  const auto replicas = ReplicasOf(key);
+  const bool last_try = try_index + 1 >= static_cast<int>(replicas.size());
+  const DurationNs deadline =
+      (options_.mitt_enabled && !last_try) ? options_.deadline : sched::kNoDeadline;
+  lsm::LsmNode* node = nodes_[static_cast<size_t>(replicas[static_cast<size_t>(try_index)])];
+  network_->Deliver([this, node, key, deadline, try_index, done] {
+    node->HandleGet(key, deadline, [this, key, try_index, done](Status status) {
+      network_->Deliver([this, key, try_index, done, status] {
+        if (status.busy()) {
+          ++failovers_;
+          Attempt(key, try_index + 1, done);
+          return;
+        }
+        (*done)(status);
+      });
+    });
+  });
+}
+
+void RingCoordinator::Put(uint64_t key, std::function<void(Status)> done) {
+  const auto replicas = ReplicasOf(key);
+  auto first = std::make_shared<bool>(true);
+  auto shared_done = std::make_shared<std::function<void(Status)>>(std::move(done));
+  for (const int r : replicas) {
+    lsm::LsmNode* node = nodes_[static_cast<size_t>(r)];
+    network_->Deliver([this, node, key, first, shared_done] {
+      node->HandlePut(key, [this, first, shared_done](Status s) {
+        network_->Deliver([first, shared_done, s] {
+          if (*first) {
+            *first = false;
+            (*shared_done)(s);
+          }
+        });
+      });
+    });
+  }
+}
+
+}  // namespace mitt::kv

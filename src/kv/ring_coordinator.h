@@ -1,0 +1,55 @@
+// Riak-style replicated coordinator over LSM nodes (§5's two-level
+// integration): the coordinator fans a get() to the primary replica first;
+// if LevelDB's read path surfaces EBUSY, the coordinator instantly fails over
+// to the next replica, disabling the deadline on the last try. With
+// mitt_enabled = false it behaves like vanilla Riak (wait, no deadline).
+
+#ifndef MITTOS_KV_RING_COORDINATOR_H_
+#define MITTOS_KV_RING_COORDINATOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/network.h"
+#include "src/common/status.h"
+#include "src/lsm/lsm_node.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::kv {
+
+class RingCoordinator {
+ public:
+  struct Options {
+    int replication = 3;
+    DurationNs deadline = Millis(13);
+    bool mitt_enabled = true;
+  };
+
+  RingCoordinator(sim::Simulator* sim, std::vector<lsm::LsmNode*> nodes,
+                  cluster::Network* network, const Options& options);
+
+  // The replica set for a key, primary first.
+  std::vector<int> ReplicasOf(uint64_t key) const;
+
+  // Replicated get with EBUSY failover.
+  void Get(uint64_t key, std::function<void(Status)> done);
+
+  // Replicated put: writes all replicas, acks after the first (Riak w=1).
+  void Put(uint64_t key, std::function<void(Status)> done);
+
+  uint64_t failovers() const { return failovers_; }
+
+ private:
+  void Attempt(uint64_t key, int try_index, std::shared_ptr<std::function<void(Status)>> done);
+
+  sim::Simulator* sim_;
+  std::vector<lsm::LsmNode*> nodes_;
+  cluster::Network* network_;
+  Options options_;
+  uint64_t failovers_ = 0;
+};
+
+}  // namespace mitt::kv
+
+#endif  // MITTOS_KV_RING_COORDINATOR_H_

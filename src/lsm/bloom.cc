@@ -1,0 +1,35 @@
+#include "src/lsm/bloom.h"
+
+#include <algorithm>
+
+namespace mitt::lsm {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  hashes_ = std::max(1, static_cast<int>(bits_per_key * 0.69));  // ln2 * bits/key.
+  hashes_ = std::min(hashes_, 8);
+  bits_.assign(std::max<size_t>(64, expected_keys * static_cast<size_t>(bits_per_key)), false);
+}
+
+uint64_t BloomFilter::Mix(uint64_t key, uint64_t salt) {
+  uint64_t z = key + salt * 0x9E37'79B9'7F4A'7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58'476D'1CE4'E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D0'49BB'1331'11EBULL;
+  return z ^ (z >> 31);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  for (int h = 0; h < hashes_; ++h) {
+    bits_[Mix(key, static_cast<uint64_t>(h) + 1) % bits_.size()] = true;
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  for (int h = 0; h < hashes_; ++h) {
+    if (!bits_[Mix(key, static_cast<uint64_t>(h) + 1) % bits_.size()]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mitt::lsm

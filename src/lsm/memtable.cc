@@ -1,0 +1,29 @@
+#include "src/lsm/memtable.h"
+
+namespace mitt::lsm {
+
+void MemTable::Put(uint64_t key, uint32_t value_size) {
+  const auto [it, inserted] = entries_.insert_or_assign(key, value_size);
+  (void)it;
+  if (inserted) {
+    approximate_bytes_ += static_cast<int64_t>(sizeof(uint64_t)) + value_size;
+  }
+}
+
+bool MemTable::Contains(uint64_t key) const { return entries_.count(key) > 0; }
+
+std::vector<uint64_t> MemTable::SortedKeys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, size] : entries_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+void MemTable::Clear() {
+  entries_.clear();
+  approximate_bytes_ = 0;
+}
+
+}  // namespace mitt::lsm

@@ -1,0 +1,39 @@
+// In-memory write buffer of the LSM tree (LevelDB's memtable). We simulate
+// storage, so values are represented by their sizes only; correctness of the
+// read path is what matters (which layer a key is found in, and which IOs a
+// lookup costs).
+
+#ifndef MITTOS_LSM_MEMTABLE_H_
+#define MITTOS_LSM_MEMTABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace mitt::lsm {
+
+class MemTable {
+ public:
+  MemTable() = default;
+
+  void Put(uint64_t key, uint32_t value_size);
+  bool Contains(uint64_t key) const;
+
+  size_t entry_count() const { return entries_.size(); }
+  int64_t approximate_bytes() const { return approximate_bytes_; }
+  bool empty() const { return entries_.empty(); }
+
+  // Sorted keys, for flushing into an SSTable.
+  std::vector<uint64_t> SortedKeys() const;
+
+  void Clear();
+
+ private:
+  std::map<uint64_t, uint32_t> entries_;
+  int64_t approximate_bytes_ = 0;
+};
+
+}  // namespace mitt::lsm
+
+#endif  // MITTOS_LSM_MEMTABLE_H_

@@ -1,0 +1,48 @@
+#include "src/noise/ec2_noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mitt::noise {
+
+Ec2NoiseModel::Ec2NoiseModel(const Ec2NoiseParams& params, uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+std::vector<NoiseEpisode> Ec2NoiseModel::GenerateSchedule(int node, TimeNs horizon) const {
+  Rng rng(seed_ ^ (0x9E37'79B9'7F4A'7C15ULL * static_cast<uint64_t>(node + 1)));
+  std::vector<NoiseEpisode> episodes;
+
+  const bool hot = rng.NextDouble() < params_.hot_node_fraction;
+  const double mean_off =
+      static_cast<double>(params_.mean_off) * (hot ? params_.hot_node_off_scale : 1.0);
+  // Lognormal parameterization: mean = exp(mu + sigma^2/2).
+  const double sigma = params_.off_sigma;
+  const double mu = std::log(mean_off) - sigma * sigma / 2.0;
+
+  TimeNs t = static_cast<TimeNs>(rng.LogNormal(mu, sigma));
+  while (t < horizon) {
+    NoiseEpisode ep;
+    ep.start = t;
+    ep.duration = static_cast<DurationNs>(
+        rng.BoundedPareto(static_cast<double>(params_.min_on),
+                          static_cast<double>(params_.max_on), params_.on_alpha));
+    ep.intensity = 1;
+    while (ep.intensity < params_.max_intensity && rng.Bernoulli(params_.extra_stream_prob)) {
+      ++ep.intensity;
+    }
+    episodes.push_back(ep);
+    t = ep.start + ep.duration + static_cast<TimeNs>(rng.LogNormal(mu, sigma));
+  }
+  return episodes;
+}
+
+double Ec2NoiseModel::BusyFraction(int node, TimeNs horizon) const {
+  const auto episodes = GenerateSchedule(node, horizon);
+  DurationNs busy = 0;
+  for (const NoiseEpisode& ep : episodes) {
+    busy += std::min(ep.duration, horizon - ep.start);
+  }
+  return static_cast<double>(busy) / static_cast<double>(horizon);
+}
+
+}  // namespace mitt::noise

@@ -1,0 +1,102 @@
+#include "src/noise/noise_injector.h"
+
+#include <algorithm>
+
+namespace mitt::noise {
+
+IoNoiseInjector::IoNoiseInjector(sim::Simulator* sim, os::Os* target_os, uint64_t file,
+                                 int64_t file_size, std::vector<NoiseEpisode> schedule,
+                                 const Options& options, uint64_t seed)
+    : sim_(sim),
+      os_(target_os),
+      file_(file),
+      file_size_(file_size),
+      schedule_(std::move(schedule)),
+      options_(options),
+      rng_(seed) {}
+
+void IoNoiseInjector::Start() {
+  for (const NoiseEpisode& ep : schedule_) {
+    sim_->ScheduleAt(ep.start, [this, ep] { BeginEpisode(ep); });
+  }
+}
+
+void IoNoiseInjector::BeginEpisode(const NoiseEpisode& episode) {
+  const TimeNs end = episode.start + episode.duration;
+  const int streams = episode.intensity * options_.streams_per_intensity;
+  for (int s = 0; s < streams; ++s) {
+    ++active_streams_;
+    StreamLoop(end);
+  }
+}
+
+void IoNoiseInjector::StreamLoop(TimeNs episode_end) {
+  if (sim_->Now() >= episode_end) {
+    --active_streams_;
+    return;
+  }
+  const int64_t max_offset = std::max<int64_t>(1, file_size_ - options_.io_size);
+  ++ios_issued_;
+  if (options_.op == sched::IoOp::kRead) {
+    os::Os::ReadArgs args;
+    args.file = file_;
+    args.offset = rng_.UniformInt(0, max_offset);
+    args.size = options_.io_size;
+    args.pid = options_.pid;
+    args.io_class = options_.io_class;
+    args.priority = options_.priority;
+    args.bypass_cache = true;  // Always hit the device.
+    os_->Read(args, [this, episode_end](Status) { StreamLoop(episode_end); });
+  } else {
+    os::Os::WriteArgs args;
+    args.file = file_;
+    args.offset = rng_.UniformInt(0, max_offset);
+    args.size = options_.io_size;
+    args.pid = options_.pid;
+    args.io_class = options_.io_class;
+    args.priority = options_.priority;
+    args.sync = true;  // Contend at the device, not the buffer cache.
+    os_->Write(args, [this, episode_end](Status) { StreamLoop(episode_end); });
+  }
+}
+
+CacheNoiseInjector::CacheNoiseInjector(sim::Simulator* sim, os::Os* target_os,
+                                       std::vector<NoiseEpisode> schedule,
+                                       const Options& options, uint64_t seed)
+    : sim_(sim), os_(target_os), schedule_(std::move(schedule)), options_(options), rng_(seed) {}
+
+void CacheNoiseInjector::Start() {
+  for (const NoiseEpisode& ep : schedule_) {
+    sim_->ScheduleAt(ep.start, [this, ep] { RunEpisode(ep); });
+  }
+}
+
+void CacheNoiseInjector::RunEpisode(const NoiseEpisode& episode) {
+  ++episodes_run_;
+  const double fraction =
+      std::min(1.0, options_.drop_fraction_per_intensity * episode.intensity);
+  const int64_t page = os_->cache().params().page_size;
+  const int64_t total_pages = std::max<int64_t>(1, options_.file_size / page);
+  const auto pages_to_drop =
+      static_cast<int64_t>(static_cast<double>(total_pages) * fraction);
+  // Drop contiguous chunks (the balloon reclaims runs of pages), remember
+  // them, and swap them back in after the pressure releases.
+  std::vector<std::pair<int64_t, int64_t>> dropped;  // (offset, len)
+  constexpr int64_t kChunkPages = 256;
+  for (int64_t remaining = pages_to_drop; remaining > 0; remaining -= kChunkPages) {
+    const int64_t len_pages = std::min<int64_t>(kChunkPages, remaining);
+    const int64_t start_page = rng_.UniformInt(0, total_pages - len_pages);
+    os_->cache().EvictRange(options_.file, start_page * page, len_pages * page);
+    dropped.emplace_back(start_page * page, len_pages * page);
+  }
+  if (options_.restore) {
+    sim_->ScheduleDaemon(
+        episode.duration + options_.restore_delay, [this, dropped = std::move(dropped)] {
+          for (const auto& [offset, len] : dropped) {
+            os_->Prefault(options_.file, offset, len);
+          }
+        });
+  }
+}
+
+}  // namespace mitt::noise

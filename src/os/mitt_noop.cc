@@ -1,0 +1,72 @@
+#include "src/os/mitt_noop.h"
+
+#include <algorithm>
+
+namespace mitt::os {
+
+MittNoopPredictor::MittNoopPredictor(sim::Simulator* sim, device::DiskProfile profile,
+                                     const PredictorOptions& options)
+    : sim_(sim), profile_(std::move(profile)), options_(options), error_rng_(options.error_seed) {}
+
+DurationNs MittNoopPredictor::PredictedWaitNow() const {
+  return std::max<DurationNs>(0, next_free_ - sim_->Now());
+}
+
+bool MittNoopPredictor::ShouldReject(sched::IoRequest* req) {
+  const TimeNs now = sim_->Now();
+  if (next_free_ < now) {
+    // Disk went idle; re-anchor the estimate (§4.1: "T_nextFree will
+    // automatically be calibrated when the disk is idle").
+    next_free_ = now;
+  }
+  const DurationNs wait = next_free_ - now;
+  req->predicted_wait = wait;
+  req->predicted_process = profile_.PredictServiceTime(tail_offset_, *req);
+
+  if (!req->has_deadline()) {
+    return false;
+  }
+
+  bool reject = wait > req->deadline + options_.failover_hop;
+  // §7.7 error injection.
+  if (reject && options_.false_negative_rate > 0 &&
+      error_rng_.Bernoulli(options_.false_negative_rate)) {
+    reject = false;
+  } else if (!reject && options_.false_positive_rate > 0 &&
+             error_rng_.Bernoulli(options_.false_positive_rate)) {
+    reject = true;
+  }
+
+  if (reject && options_.accuracy_mode) {
+    req->ebusy_flagged = true;
+    return false;
+  }
+  return reject;
+}
+
+void MittNoopPredictor::OnAccepted(const sched::IoRequest& req) {
+  const TimeNs now = sim_->Now();
+  if (next_free_ < now) {
+    next_free_ = now;
+  }
+  next_free_ += req.predicted_process;
+  tail_offset_ = req.offset + req.size;
+}
+
+void MittNoopPredictor::OnCompletion(const sched::IoRequest& req, DurationNs actual_process) {
+  // NVRAM-acked writes complete in microseconds while their destage runs
+  // later; calibrating on the ack would cancel the pre-charged destage cost.
+  if (options_.calibrate && req.op != sched::IoOp::kWrite) {
+    // §4.1: T_diff = T_processActual - T_processNewIO; T_nextFree += T_diff.
+    // The diff is bounded: a single completion delayed by background destage
+    // traffic must not swing the whole estimate.
+    const DurationNs diff =
+        std::clamp<DurationNs>(actual_process - req.predicted_process, -Millis(5), Millis(5));
+    next_free_ += diff;
+  }
+  if (options_.accuracy_mode && req.has_deadline()) {
+    stats_.Account(req, sim_->Now() - req.submit_time);
+  }
+}
+
+}  // namespace mitt::os

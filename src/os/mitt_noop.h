@@ -1,0 +1,62 @@
+// MittNoop (§4.1): admission prediction for the noop (FIFO) disk scheduler.
+//
+// O(1) per IO: the predictor tracks the disk's next-free time
+// (T_nextFree). An arriving IO's wait is T_nextFree - T_now; if
+// T_wait > T_deadline + T_hop the IO is rejected with EBUSY. On acceptance
+// T_nextFree += T_processNewIO, where the processing time comes from the
+// measured DiskProfile (Appendix A). On completion the diff between actual
+// and predicted processing time recalibrates T_nextFree.
+
+#ifndef MITTOS_OS_MITT_NOOP_H_
+#define MITTOS_OS_MITT_NOOP_H_
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/device/disk_profile.h"
+#include "src/os/predictor_common.h"
+#include "src/sched/io_request.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::os {
+
+class MittNoopPredictor {
+ public:
+  MittNoopPredictor(sim::Simulator* sim, device::DiskProfile profile,
+                    const PredictorOptions& options);
+
+  // Called by the scheduler for every arriving IO *before* queueing. Fills
+  // req->predicted_wait / predicted_process, and returns true if the IO must
+  // be rejected with EBUSY (in accuracy mode: sets req->ebusy_flagged and
+  // returns false instead).
+  bool ShouldReject(sched::IoRequest* req);
+
+  // Accounting for an accepted IO (extends T_nextFree).
+  void OnAccepted(const sched::IoRequest& req);
+
+  // Completion hook: calibrates T_nextFree with the actual-vs-predicted diff
+  // and, in accuracy mode, accounts false positives/negatives.
+  void OnCompletion(const sched::IoRequest& req, DurationNs actual_process);
+
+  // Predicted wait for an IO arriving now (exposed for the "return expected
+  // wait time" extension discussed in §7.8.1/§8.1).
+  DurationNs PredictedWaitNow() const;
+
+  const PredictionStats& stats() const { return stats_; }
+  const PredictorOptions& options() const { return options_; }
+
+ private:
+  sim::Simulator* sim_;
+  device::DiskProfile profile_;
+  PredictorOptions options_;
+  Rng error_rng_;
+  PredictionStats stats_;
+
+  TimeNs next_free_ = 0;
+  // Offset of the most recently accepted IO: the queue tail the next IO's
+  // seek is predicted from.
+  int64_t tail_offset_ = 0;
+};
+
+}  // namespace mitt::os
+
+#endif  // MITTOS_OS_MITT_NOOP_H_

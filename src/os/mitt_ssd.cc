@@ -1,0 +1,150 @@
+#include "src/os/mitt_ssd.h"
+
+#include <algorithm>
+
+namespace mitt::os {
+
+MittSsdPredictor::MittSsdPredictor(sim::Simulator* sim, const device::SsdModel* ssd,
+                                   device::SsdProfile profile, const PredictorOptions& options,
+                                   const MittSsdOptions& ssd_options)
+    : sim_(sim),
+      ssd_(ssd),
+      profile_(std::move(profile)),
+      options_(options),
+      ssd_options_(ssd_options),
+      error_rng_(options.error_seed) {
+  chip_next_free_.assign(static_cast<size_t>(ssd_->num_chips()), 0);
+  channel_outstanding_.assign(static_cast<size_t>(ssd_->params().num_channels), 0);
+}
+
+DurationNs MittSsdPredictor::SubIoService(const sched::IoRequest& req,
+                                          int64_t logical_page) const {
+  // Chip-occupancy time only: the channel transfer is accounted separately
+  // through the outstanding-IO term of the wait formula, so charging it to
+  // the chip as well would double-count it and over-reject.
+  switch (req.op) {
+    case sched::IoOp::kRead:
+      return profile_.page_read_total - profile_.channel_delay;
+    case sched::IoOp::kWrite: {
+      if (!ssd_options_.use_program_pattern) {
+        return profile_.ProgramTime(0);
+      }
+      const int64_t in_chip = logical_page / ssd_->num_chips();
+      const int pos = static_cast<int>(in_chip % ssd_->params().pages_per_block);
+      return profile_.ProgramTime(pos);
+    }
+    case sched::IoOp::kErase:
+      return profile_.erase_time;
+  }
+  return 0;
+}
+
+DurationNs MittSsdPredictor::PredictedWait(const sched::IoRequest& req) const {
+  const TimeNs now = sim_->Now();
+  const int64_t first = ssd_->PageOfOffset(req.offset);
+  const int64_t last = ssd_->PageOfOffset(req.offset + std::max<int64_t>(req.size, 1) - 1);
+  DurationNs worst = 0;
+  if (!ssd_options_.per_chip_tracking) {
+    // Strawman single-queue model: the whole device is busy until the max of
+    // all chip next-free times.
+    TimeNs busiest = 0;
+    for (const TimeNs t : chip_next_free_) {
+      busiest = std::max(busiest, t);
+    }
+    return std::max<DurationNs>(0, busiest - now);
+  }
+  for (int64_t p = first; p <= last; ++p) {
+    const int chip = ssd_->ChipOfPage(p);
+    const int channel = ssd_->ChannelOfChip(chip);
+    const DurationNs wait =
+        std::max<DurationNs>(0, chip_next_free_[chip] - now) +
+        profile_.channel_delay * channel_outstanding_[channel];
+    worst = std::max(worst, wait);
+  }
+  return worst;
+}
+
+bool MittSsdPredictor::ShouldReject(sched::IoRequest* req) {
+  const DurationNs wait = PredictedWait(*req);
+  req->predicted_wait = wait;
+  req->predicted_process = SubIoService(*req, ssd_->PageOfOffset(req->offset));
+
+  if (!req->has_deadline()) {
+    return false;
+  }
+  bool reject = wait > req->deadline + options_.failover_hop;
+  if (reject && options_.false_negative_rate > 0 &&
+      error_rng_.Bernoulli(options_.false_negative_rate)) {
+    reject = false;
+  } else if (!reject && options_.false_positive_rate > 0 &&
+             error_rng_.Bernoulli(options_.false_positive_rate)) {
+    reject = true;
+  }
+  if (reject && options_.accuracy_mode) {
+    req->ebusy_flagged = true;
+    return false;
+  }
+  return reject;
+}
+
+void MittSsdPredictor::OnAccepted(const sched::IoRequest& req) {
+  const TimeNs now = sim_->Now();
+  const int64_t first = ssd_->PageOfOffset(req.offset);
+  const int64_t last = ssd_->PageOfOffset(req.offset + std::max<int64_t>(req.size, 1) - 1);
+  auto& channels = channels_of_[req.id];
+  for (int64_t p = first; p <= last; ++p) {
+    const int chip = ssd_->ChipOfPage(p);
+    const int channel = ssd_->ChannelOfChip(chip);
+    TimeNs& free_at = chip_next_free_[chip];
+    if (free_at < now) {
+      free_at = now;
+    }
+    free_at += SubIoService(req, p);
+    ++channel_outstanding_[channel];
+    channels.push_back(channel);
+  }
+}
+
+void MittSsdPredictor::OnCompletion(const sched::IoRequest& req) {
+  const auto it = channels_of_.find(req.id);
+  if (it != channels_of_.end()) {
+    for (const int channel : it->second) {
+      channel_outstanding_[channel] = std::max(0, channel_outstanding_[channel] - 1);
+    }
+    channels_of_.erase(it);
+  }
+  if (options_.accuracy_mode && req.has_deadline()) {
+    stats_.Account(req, sim_->Now() - req.submit_time);
+  }
+}
+
+SsdBlockLayer::SsdBlockLayer(sim::Simulator* sim, device::SsdModel* ssd,
+                             MittSsdPredictor* predictor)
+    : sim_(sim), ssd_(ssd), predictor_(predictor) {
+  ssd_->set_completion_listener([this](sched::IoRequest* req) { OnDeviceCompletion(req); });
+}
+
+void SsdBlockLayer::Submit(sched::IoRequest* req) {
+  req->submit_time = sim_->Now();
+  if (predictor_ != nullptr && predictor_->ShouldReject(req)) {
+    if (req->on_complete) {
+      req->on_complete(*req, Status::Ebusy());
+    }
+    return;
+  }
+  if (predictor_ != nullptr) {
+    predictor_->OnAccepted(*req);
+  }
+  ssd_->Submit(req);
+}
+
+void SsdBlockLayer::OnDeviceCompletion(sched::IoRequest* req) {
+  if (predictor_ != nullptr) {
+    predictor_->OnCompletion(*req);
+  }
+  if (req->on_complete) {
+    req->on_complete(*req, Status::Ok());
+  }
+}
+
+}  // namespace mitt::os

@@ -1,0 +1,259 @@
+#include "src/os/os.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mitt::os {
+namespace {
+
+constexpr int64_t kAllocAlignment = 64LL * 1024 * 1024;
+
+int64_t AlignUp(int64_t v, int64_t a) { return (v + a - 1) / a * a; }
+
+}  // namespace
+
+Os::Os(sim::Simulator* sim, const OsOptions& options)
+    : sim_(sim), options_(options), rng_(options.seed) {
+  switch (options_.backend) {
+    case BackendKind::kDiskNoop:
+    case BackendKind::kDiskCfq: {
+      disk_ = std::make_unique<device::DiskModel>(sim_, options_.disk, rng_.Next());
+      // Profile an identical twin device on a scratch simulator so the boot
+      // profile does not perturb this machine's state (the paper's profiling
+      // is a one-time offline pass).
+      if (options_.mitt_enabled) {
+        sim::Simulator scratch;
+        device::DiskModel twin(&scratch, options_.disk, options_.seed ^ 0x5eedf00d);
+        disk_profile_ = ProfileDisk(&scratch, &twin);
+      }
+      if (options_.backend == BackendKind::kDiskNoop) {
+        if (options_.mitt_enabled) {
+          mitt_noop_ =
+              std::make_unique<MittNoopPredictor>(sim_, disk_profile_, options_.predictor);
+        }
+        scheduler_ = std::make_unique<sched::NoopScheduler>(sim_, disk_.get(), mitt_noop_.get());
+      } else {
+        if (options_.mitt_enabled) {
+          mitt_cfq_ = std::make_unique<MittCfqPredictor>(sim_, disk_profile_, options_.predictor,
+                                                         options_.mitt_cfq);
+        }
+        scheduler_ = std::make_unique<sched::CfqScheduler>(sim_, disk_.get(), mitt_cfq_.get(),
+                                                           options_.cfq);
+      }
+      break;
+    }
+    case BackendKind::kSsd: {
+      ssd_ = std::make_unique<device::SsdModel>(sim_, options_.ssd, rng_.Next());
+      if (options_.mitt_enabled) {
+        sim::Simulator scratch;
+        device::SsdModel twin(&scratch, options_.ssd, options_.seed ^ 0x5eedf00d);
+        ssd_profile_ = ProfileSsd(&scratch, &twin);
+        mitt_ssd_ = std::make_unique<MittSsdPredictor>(sim_, ssd_.get(), ssd_profile_,
+                                                       options_.predictor, options_.mitt_ssd);
+      }
+      scheduler_ = std::make_unique<SsdBlockLayer>(sim_, ssd_.get(), mitt_ssd_.get());
+      break;
+    }
+  }
+  cache_ = std::make_unique<PageCache>(options_.cache);
+  flush_event_ = sim_->ScheduleDaemon(options_.flush_interval, [this] { FlushTick(); });
+}
+
+Os::~Os() { sim_->Cancel(flush_event_); }
+
+uint64_t Os::CreateFile(int64_t size_bytes) {
+  const uint64_t id = next_file_++;
+  file_base_[id] = next_alloc_;
+  next_alloc_ += AlignUp(size_bytes, kAllocAlignment);
+  return id;
+}
+
+int64_t Os::FileBase(uint64_t file) const {
+  const auto it = file_base_.find(file);
+  return it == file_base_.end() ? 0 : it->second;
+}
+
+DurationNs Os::MinDeviceLatency() const {
+  if (ssd_ != nullptr) {
+    return options_.ssd.chip_read + options_.ssd.channel_xfer;
+  }
+  // Fastest possible disk IO: near-sequential settle plus transfer.
+  return options_.disk.seek_base / 10 + options_.disk.transfer_per_kb * 4;
+}
+
+sched::IoRequest* Os::NewRequest() {
+  auto req = std::make_unique<sched::IoRequest>();
+  req->id = next_io_++;
+  sched::IoRequest* raw = req.get();
+  inflight_[raw->id] = std::move(req);
+  return raw;
+}
+
+void Os::FinishRequest(sched::IoRequest* req) { inflight_.erase(req->id); }
+
+void Os::Read(const ReadArgs& args, std::function<void(Status)> done) {
+  if (done) {
+    ReadWithWaitHint(args, [done = std::move(done)](Status s, DurationNs) { done(s); });
+  } else {
+    ReadWithWaitHint(args, nullptr);
+  }
+}
+
+void Os::ReadWithWaitHint(const ReadArgs& args, RichReadFn done) {
+  if (!args.bypass_cache && cache_->Resident(args.file, args.offset, args.size)) {
+    cache_->Touch(args.file, args.offset, args.size);
+    sim_->Schedule(options_.hit_latency, [done = std::move(done)] {
+      if (done) {
+        done(Status::Ok(), 0);
+      }
+    });
+    return;
+  }
+
+  const bool slo_active = options_.mitt_enabled && args.deadline != sched::kNoDeadline;
+  if (slo_active && args.deadline < MinDeviceLatency()) {
+    // §4.4: the user expected an in-memory read; the data is not resident and
+    // no device IO can make the deadline. Reject without queueing anything.
+    // The wait hint is the device floor: the soonest any retry here could
+    // complete.
+    const DurationNs hint = MinDeviceLatency();
+    sim_->Schedule(options_.syscall_overhead, [done = std::move(done), hint] {
+      if (done) {
+        done(Status::Ebusy(), hint);
+      }
+    });
+    return;
+  }
+
+  SubmitDeviceRead(args.file, args.offset, args.size,
+                   options_.mitt_enabled ? args.deadline : sched::kNoDeadline, args.pid,
+                   args.io_class, args.priority, !args.bypass_cache, std::move(done));
+}
+
+void Os::SubmitDeviceRead(uint64_t file, int64_t offset, int64_t size, DurationNs deadline,
+                          int32_t pid, sched::IoClass io_class, int8_t priority, bool fill_cache,
+                          RichReadFn done) {
+  sched::IoRequest* req = NewRequest();
+  req->op = sched::IoOp::kRead;
+  req->offset = FileBase(file) + offset;
+  req->size = size;
+  req->pid = pid;
+  req->io_class = io_class;
+  req->priority = priority;
+  req->deadline = deadline;
+  req->on_complete = [this, file, offset, size, fill_cache, done = std::move(done)](
+                         const sched::IoRequest& r, Status status) {
+    if (status.ok() && fill_cache) {
+      cache_->Insert(file, offset, size);
+    }
+    if (done) {
+      const DurationNs return_cost =
+          status.busy() ? options_.syscall_overhead : options_.syscall_overhead / 2;
+      const DurationNs hint = r.predicted_wait;
+      sim_->Schedule(return_cost, [done, status, hint] { done(status, hint); });
+    }
+    FinishRequest(const_cast<sched::IoRequest*>(&r));
+  };
+  scheduler_->Submit(req);
+}
+
+void Os::Write(const WriteArgs& args, std::function<void(Status)> done) {
+  if (args.sync) {
+    SubmitDeviceWrite(args, std::move(done));
+    return;
+  }
+  // Buffered write: dirty the cache, acknowledge immediately, flush later
+  // (§7.8.6: "writes are first buffered to memory and flushed in the
+  // background, thus user-facing write latencies are not directly affected by
+  // drive-level contention").
+  cache_->Insert(args.file, args.offset, args.size);
+  dirty_.push_back({args.file, args.offset, args.size});
+  sim_->Schedule(options_.hit_latency, [done = std::move(done)] {
+    if (done) {
+      done(Status::Ok());
+    }
+  });
+}
+
+void Os::SubmitDeviceWrite(const WriteArgs& args, std::function<void(Status)> done) {
+  sched::IoRequest* req = NewRequest();
+  req->op = sched::IoOp::kWrite;
+  req->offset = FileBase(args.file) + args.offset;
+  req->size = args.size;
+  req->pid = args.pid;
+  req->io_class = args.io_class;
+  req->priority = args.priority;
+  req->on_complete = [this, done = std::move(done)](const sched::IoRequest& r, Status status) {
+    if (done) {
+      sim_->Schedule(options_.syscall_overhead / 2, [done, status] { done(status); });
+    }
+    FinishRequest(const_cast<sched::IoRequest*>(&r));
+  };
+  scheduler_->Submit(req);
+}
+
+void Os::FlushTick() {
+  // Flush dirty ranges accumulated since the last tick as background
+  // (kernel) writes with no deadline.
+  std::deque<DirtyRange> batch;
+  batch.swap(dirty_);
+  for (const DirtyRange& d : batch) {
+    WriteArgs args;
+    args.file = d.file;
+    args.offset = d.offset;
+    args.size = d.size;
+    args.pid = 0;  // kswapd/flusher.
+    args.sync = true;
+    SubmitDeviceWrite(args, nullptr);
+  }
+  flush_event_ = sim_->ScheduleDaemon(options_.flush_interval, [this] { FlushTick(); });
+}
+
+Os::AddrCheckResult Os::AddrCheck(uint64_t file, int64_t offset, int64_t size,
+                                  DurationNs deadline) {
+  const DurationNs cost = options_.addrcheck_cost;
+  if (cache_->Resident(file, offset, size)) {
+    return {Status::Ok(), cost};
+  }
+  if (!options_.mitt_enabled) {
+    return {Status::Ok(), cost};  // Vanilla kernel: no such syscall semantics.
+  }
+  // Not resident: predict whether a device fill could still meet the
+  // deadline; propagate to the IO layer's estimate (§4.4).
+  DurationNs predicted = MinDeviceLatency();
+  if (mitt_cfq_ != nullptr) {
+    predicted += mitt_cfq_->PredictedWaitNow(0, sched::IoClass::kBestEffort);
+  } else if (mitt_noop_ != nullptr) {
+    predicted += mitt_noop_->PredictedWaitNow();
+  }
+  if (deadline == sched::kNoDeadline || deadline >= predicted) {
+    return {Status::Ok(), cost};
+  }
+  // EBUSY — but for fairness keep swapping the data in, in the background,
+  // so this tenant's pages still get populated (§4.4).
+  SubmitDeviceRead(file, offset, size, sched::kNoDeadline, 0, sched::IoClass::kBestEffort, 7,
+                   /*fill_cache=*/true, nullptr);
+  return {Status::Ebusy(), cost};
+}
+
+void Os::MmapAccess(uint64_t file, int64_t offset, int64_t size, int32_t pid,
+                    std::function<void(Status)> done) {
+  if (cache_->Resident(file, offset, size)) {
+    cache_->Touch(file, offset, size);
+    sim_->Schedule(options_.mmap_access_cost, [done = std::move(done)] { done(Status::Ok()); });
+    return;
+  }
+  // Page fault: a blocking device read with no deadline (no syscall is
+  // involved, so the OS cannot signal EBUSY, §4.4).
+  SubmitDeviceRead(file, offset, size, sched::kNoDeadline, pid, sched::IoClass::kBestEffort, 4,
+                   /*fill_cache=*/true,
+                   [done = std::move(done)](Status s, DurationNs) { done(s); });
+}
+
+void Os::Prefault(uint64_t file, int64_t offset, int64_t size) {
+  cache_->Insert(file, offset, size);
+}
+
+void Os::DropCachedFraction(double fraction) { cache_->EvictFraction(fraction, rng_); }
+
+}  // namespace mitt::os

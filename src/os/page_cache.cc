@@ -1,0 +1,85 @@
+#include "src/os/page_cache.h"
+
+#include <vector>
+
+namespace mitt::os {
+
+PageCache::PageCache(const PageCacheParams& params) : params_(params) {}
+
+bool PageCache::Resident(uint64_t file, int64_t offset, int64_t len) const {
+  const int64_t first = offset / params_.page_size;
+  const int64_t last = (offset + (len > 0 ? len : 1) - 1) / params_.page_size;
+  for (int64_t p = first; p <= last; ++p) {
+    if (map_.find(Key(file, p)) == map_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PageCache::InsertOne(uint64_t key) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.end(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= params_.capacity_pages && !lru_.empty()) {
+    map_.erase(lru_.front());
+    lru_.pop_front();
+  }
+  lru_.push_back(key);
+  map_[key] = std::prev(lru_.end());
+}
+
+void PageCache::Insert(uint64_t file, int64_t offset, int64_t len) {
+  const int64_t first = offset / params_.page_size;
+  const int64_t last = (offset + (len > 0 ? len : 1) - 1) / params_.page_size;
+  for (int64_t p = first; p <= last; ++p) {
+    InsertOne(Key(file, p));
+  }
+}
+
+void PageCache::Touch(uint64_t file, int64_t offset, int64_t len) {
+  const int64_t first = offset / params_.page_size;
+  const int64_t last = (offset + (len > 0 ? len : 1) - 1) / params_.page_size;
+  for (int64_t p = first; p <= last; ++p) {
+    const auto it = map_.find(Key(file, p));
+    if (it != map_.end()) {
+      lru_.splice(lru_.end(), lru_, it->second);
+    }
+  }
+}
+
+void PageCache::EvictRange(uint64_t file, int64_t offset, int64_t len) {
+  const int64_t first = offset / params_.page_size;
+  const int64_t last = (offset + (len > 0 ? len : 1) - 1) / params_.page_size;
+  for (int64_t p = first; p <= last; ++p) {
+    const auto it = map_.find(Key(file, p));
+    if (it != map_.end()) {
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+  }
+}
+
+void PageCache::EvictFraction(double fraction, Rng& rng) {
+  if (fraction <= 0 || map_.empty()) {
+    return;
+  }
+  std::vector<uint64_t> victims;
+  victims.reserve(static_cast<size_t>(static_cast<double>(map_.size()) * fraction) + 1);
+  for (const auto& [key, it] : map_) {
+    if (rng.Bernoulli(fraction)) {
+      victims.push_back(key);
+    }
+  }
+  for (const uint64_t key : victims) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+  }
+}
+
+}  // namespace mitt::os

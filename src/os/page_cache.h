@@ -1,0 +1,66 @@
+// OS buffer/page cache: page-granular LRU over (file, page) keys.
+//
+// MittCache (§4.4) is a thin layer over this table: residency lookups are
+// O(1) hash-table probes ("addrcheck traverses existing hash tables in
+// O(1)"), and multi-tenant memory contention is emulated by evicting a
+// fraction of the resident pages (the paper injects cache misses the same
+// way, with posix_fadvise, §7.1/§7.4).
+
+#ifndef MITTOS_OS_PAGE_CACHE_H_
+#define MITTOS_OS_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+
+namespace mitt::os {
+
+struct PageCacheParams {
+  int64_t page_size = 4096;
+  size_t capacity_pages = 1 << 20;  // 4 GiB of 4 KiB pages.
+};
+
+class PageCache {
+ public:
+  explicit PageCache(const PageCacheParams& params);
+
+  // True iff every page of [offset, offset+len) of `file` is resident.
+  // Does not touch LRU state (AddrCheck must not perturb eviction order).
+  bool Resident(uint64_t file, int64_t offset, int64_t len) const;
+
+  // Marks the range resident, evicting LRU pages if over capacity.
+  void Insert(uint64_t file, int64_t offset, int64_t len);
+
+  // Moves the range's pages to the MRU end (a completed read access).
+  void Touch(uint64_t file, int64_t offset, int64_t len);
+
+  // Evicts pages covering the range, if resident.
+  void EvictRange(uint64_t file, int64_t offset, int64_t len);
+
+  // Evicts approximately `fraction` of all resident pages, chosen uniformly —
+  // the noisy-neighbor memory contention / VM ballooning effect (§6, §7.1).
+  void EvictFraction(double fraction, Rng& rng);
+
+  size_t resident_pages() const { return map_.size(); }
+  const PageCacheParams& params() const { return params_; }
+
+ private:
+  using LruList = std::list<uint64_t>;  // Keys, LRU at front / MRU at back.
+
+  static uint64_t Key(uint64_t file, int64_t page) {
+    return (file << 40) | static_cast<uint64_t>(page);
+  }
+
+  void InsertOne(uint64_t key);
+
+  PageCacheParams params_;
+  LruList lru_;
+  std::unordered_map<uint64_t, LruList::iterator> map_;
+};
+
+}  // namespace mitt::os
+
+#endif  // MITTOS_OS_PAGE_CACHE_H_

@@ -1,0 +1,82 @@
+// Types shared by the Mitt* admission predictors: options (including the
+// §7.7 error-injection knobs and the §7.6 accuracy-accounting mode) and the
+// false-positive/false-negative statistics of Figure 9.
+
+#ifndef MITTOS_OS_PREDICTOR_COMMON_H_
+#define MITTOS_OS_PREDICTOR_COMMON_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/sched/io_request.h"
+
+namespace mitt::os {
+
+struct PredictorOptions {
+  // T_hop: one failover hop; an IO is rejected when the predicted wait
+  // exceeds deadline + failover_hop (§4.1).
+  DurationNs failover_hop = Micros(300);
+
+  // Continuous calibration of the next-free-time via the predicted-vs-actual
+  // diff attached to the IO descriptor (§4.1). Disabling this is the
+  // "without our precision improvements" ablation (§7.6).
+  bool calibrate = true;
+
+  // §7.6 accuracy accounting: never return EBUSY; instead set
+  // IoRequest::ebusy_flagged and let the IO run so the actual completion time
+  // can be compared against the deadline.
+  bool accuracy_mode = false;
+
+  // §7.7 error injection. With probability false_negative_rate, an IO the
+  // predictor wants to reject is let through; with probability
+  // false_positive_rate, an IO that meets its deadline is rejected anyway.
+  double false_negative_rate = 0.0;
+  double false_positive_rate = 0.0;
+  uint64_t error_seed = 1234;
+};
+
+// Figure 9's inaccuracy accounting, valid in accuracy_mode: "false positives
+// (EBUSY is returned, but T_processActual <= T_deadline) and false negatives
+// (EBUSY is not returned, but T_processActual > T_deadline)."
+struct PredictionStats {
+  uint64_t total = 0;
+  uint64_t flagged = 0;  // IOs the predictor would have rejected.
+  uint64_t false_positives = 0;
+  uint64_t false_negatives = 0;
+  // Sum over inaccurate IOs of |actual - deadline|, to report how far off
+  // the mispredictions are ("all the diffs are <3ms / <1ms on average").
+  double wrong_diff_sum_ns = 0;
+
+  double InaccuracyPercent() const {
+    if (total == 0) {
+      return 0.0;
+    }
+    return 100.0 * static_cast<double>(false_positives + false_negatives) /
+           static_cast<double>(total);
+  }
+  double MeanWrongDiffNs() const {
+    const uint64_t wrong = false_positives + false_negatives;
+    return wrong == 0 ? 0.0 : wrong_diff_sum_ns / static_cast<double>(wrong);
+  }
+
+  // Records the outcome of one completed deadline-carrying IO.
+  void Account(const sched::IoRequest& req, DurationNs actual_latency) {
+    ++total;
+    const bool violated = actual_latency > req.deadline;
+    if (req.ebusy_flagged) {
+      ++flagged;
+      if (!violated) {
+        ++false_positives;
+        wrong_diff_sum_ns += static_cast<double>(req.deadline - actual_latency);
+      }
+    } else if (violated) {
+      ++false_negatives;
+      wrong_diff_sum_ns += static_cast<double>(actual_latency - req.deadline);
+    }
+  }
+};
+
+}  // namespace mitt::os
+
+#endif  // MITTOS_OS_PREDICTOR_COMMON_H_

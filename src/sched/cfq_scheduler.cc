@@ -1,0 +1,188 @@
+#include "src/sched/cfq_scheduler.h"
+
+#include <algorithm>
+
+namespace mitt::sched {
+namespace {
+
+int ClassRank(IoClass c) { return static_cast<int>(c); }
+
+}  // namespace
+
+CfqScheduler::CfqScheduler(sim::Simulator* sim, device::DiskModel* disk,
+                           os::MittCfqPredictor* predictor, const CfqParams& params)
+    : sim_(sim), disk_(disk), predictor_(predictor), params_(params) {
+  disk_->set_completion_listener([this](IoRequest* req) { OnDeviceCompletion(req); });
+  disk_->set_capacity_listener([this] { DispatchMore(); });
+}
+
+CfqScheduler::ProcQueue& CfqScheduler::GetProc(const IoRequest& req) {
+  auto it = procs_.find(req.pid);
+  if (it == procs_.end()) {
+    auto proc = std::make_unique<ProcQueue>();
+    proc->pid = req.pid;
+    it = procs_.emplace(req.pid, std::move(proc)).first;
+  }
+  // ionice can change a process' class/priority at any time; refresh.
+  it->second->io_class = req.io_class;
+  it->second->priority = req.priority;
+  return *it->second;
+}
+
+void CfqScheduler::EnsureInTree(ProcQueue* proc) {
+  if (!proc->in_rr) {
+    trees_[ClassRank(proc->io_class)].push_back(proc);
+    proc->in_rr = true;
+  }
+}
+
+void CfqScheduler::MaybeRemoveFromTree(ProcQueue* proc) {
+  if (proc->in_rr && proc->sorted.empty()) {
+    auto& tree = trees_[ClassRank(proc->io_class)];
+    tree.remove(proc);
+    proc->in_rr = false;
+    if (active_ == proc) {
+      active_ = nullptr;
+    }
+  }
+}
+
+DurationNs CfqScheduler::SliceFor(const ProcQueue& proc) const {
+  return params_.base_slice * (8 - proc.priority) / 4;
+}
+
+int CfqScheduler::BusiestClass() const {
+  for (int c = 0; c < 3; ++c) {
+    if (!trees_[c].empty()) {
+      return c;
+    }
+  }
+  return -1;
+}
+
+void CfqScheduler::SelectActive() {
+  const int top = BusiestClass();
+  if (top < 0) {
+    active_ = nullptr;
+    return;
+  }
+  // Preemption: a higher class with runnable processes always wins the disk
+  // (CFQ "always picks IOs from the RealTime tree first").
+  if (active_ != nullptr &&
+      (ClassRank(active_->io_class) > top || sim_->Now() >= slice_end_ ||
+       active_->sorted.empty())) {
+    // Slice over (or preempted): rotate to the back of its tree.
+    auto& tree = trees_[ClassRank(active_->io_class)];
+    if (active_->in_rr && tree.size() > 1 && tree.front() == active_) {
+      tree.pop_front();
+      tree.push_back(active_);
+    }
+    active_ = nullptr;
+  }
+  if (active_ == nullptr) {
+    active_ = trees_[top].front();
+    slice_end_ = sim_->Now() + SliceFor(*active_);
+  }
+}
+
+void CfqScheduler::Submit(IoRequest* req) {
+  req->submit_time = sim_->Now();
+  if (predictor_ != nullptr && predictor_->ShouldReject(req)) {
+    CompleteEbusy(req);
+    return;
+  }
+
+  std::vector<IoRequest*> victims;
+  if (predictor_ != nullptr) {
+    victims = predictor_->OnAccepted(req);
+  }
+
+  ProcQueue& proc = GetProc(*req);
+  proc.sorted.emplace(req->offset, req);
+  ++pending_;
+  EnsureInTree(&proc);
+
+  // Cancel previously accepted IOs whose deadline this arrival made
+  // unmeetable ("bumped to the back", §4.2).
+  for (IoRequest* victim : victims) {
+    auto vit = procs_.find(victim->pid);
+    if (vit == procs_.end()) {
+      continue;
+    }
+    ProcQueue& vproc = *vit->second;
+    auto range = vproc.sorted.equal_range(victim->offset);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == victim) {
+        vproc.sorted.erase(it);
+        --pending_;
+        break;
+      }
+    }
+    MaybeRemoveFromTree(&vproc);
+    CompleteEbusy(victim);
+  }
+
+  DispatchMore();
+}
+
+void CfqScheduler::DispatchMore() {
+  while (disk_->CanAccept()) {
+    SelectActive();
+    if (active_ == nullptr) {
+      return;
+    }
+    ProcQueue* proc = active_;
+    if (proc->sorted.empty() || proc->in_device >= params_.quantum) {
+      // Nothing dispatchable from the active queue right now. If the block is
+      // only the quantum, wait for a completion; if the queue is empty the
+      // next SelectActive will rotate.
+      if (proc->sorted.empty()) {
+        MaybeRemoveFromTree(proc);
+        if (BusiestClass() < 0) {
+          return;
+        }
+        continue;
+      }
+      return;
+    }
+    auto it = proc->sorted.begin();
+    IoRequest* req = it->second;
+    proc->sorted.erase(it);
+    --pending_;
+    ++proc->in_device;
+    if (predictor_ != nullptr) {
+      predictor_->OnDispatch(req);
+    }
+    disk_->Submit(req);
+    MaybeRemoveFromTree(proc);
+  }
+}
+
+void CfqScheduler::OnDeviceCompletion(IoRequest* req) {
+  auto it = procs_.find(req->pid);
+  if (it != procs_.end()) {
+    it->second->in_device = std::max(0, it->second->in_device - 1);
+  }
+  if (predictor_ != nullptr) {
+    const DurationNs actual = sim_->Now() - std::max(req->dispatch_time, last_completion_);
+    predictor_->OnCompletion(*req, actual);
+  }
+  last_completion_ = sim_->Now();
+  if (req->on_complete) {
+    req->on_complete(*req, Status::Ok());
+  }
+  DispatchMore();
+}
+
+void CfqScheduler::CompleteEbusy(IoRequest* req) {
+  if (req->on_complete) {
+    req->on_complete(*req, Status::Ebusy());
+  }
+}
+
+size_t CfqScheduler::ProcPendingCount(int32_t pid) const {
+  const auto it = procs_.find(pid);
+  return it == procs_.end() ? 0 : it->second->sorted.size();
+}
+
+}  // namespace mitt::sched

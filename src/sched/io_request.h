@@ -1,0 +1,65 @@
+// The IO descriptor that flows through the whole storage stack:
+// OS syscall layer -> IO scheduler -> device queue -> completion.
+//
+// MittOS-specific fields carry the SLO (deadline), the prediction metadata
+// used for calibration (§4.1: attach predicted processing time to the IO
+// descriptor, measure the diff on completion), and the accuracy-accounting
+// flag used by §7.6 (EBUSY flagged on the descriptor instead of returned).
+
+#ifndef MITTOS_SCHED_IO_REQUEST_H_
+#define MITTOS_SCHED_IO_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+
+namespace mitt::sched {
+
+enum class IoOp : uint8_t { kRead, kWrite, kErase };
+
+// CFQ service classes, mirroring Linux ioprio classes (§4.2).
+enum class IoClass : uint8_t { kRealTime = 0, kBestEffort = 1, kIdle = 2 };
+
+// No SLO attached; the IO must never be rejected.
+constexpr DurationNs kNoDeadline = -1;
+
+struct IoRequest;
+
+// Completion callback. `req` is valid only for the duration of the call.
+using IoCompletionFn = std::function<void(const IoRequest& req, Status status)>;
+
+struct IoRequest {
+  uint64_t id = 0;
+
+  IoOp op = IoOp::kRead;
+  int64_t offset = 0;  // Byte offset on the device.
+  int64_t size = 0;    // Bytes.
+
+  // Submitting process and its CFQ scheduling parameters.
+  int32_t pid = 0;
+  IoClass io_class = IoClass::kBestEffort;
+  int8_t priority = 4;  // 0 (highest) .. 7 (lowest) within the class.
+
+  // --- MittOS SLO ---
+  DurationNs deadline = kNoDeadline;
+
+  // --- Lifecycle timestamps (simulated time) ---
+  TimeNs submit_time = 0;    // When the syscall entered the scheduler.
+  TimeNs dispatch_time = 0;  // When the device started holding it.
+
+  // --- Prediction metadata (§4.1 "attach T_processNewIO ... to the IO
+  //     descriptor", §7.6 accuracy accounting) ---
+  DurationNs predicted_wait = 0;     // Predictor's wait estimate at submit.
+  DurationNs predicted_process = 0;  // Predictor's service-time estimate.
+  bool ebusy_flagged = false;        // Accuracy mode: would have been rejected.
+
+  IoCompletionFn on_complete;
+
+  bool has_deadline() const { return deadline != kNoDeadline; }
+};
+
+}  // namespace mitt::sched
+
+#endif  // MITTOS_SCHED_IO_REQUEST_H_

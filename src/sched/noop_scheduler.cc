@@ -1,0 +1,55 @@
+#include "src/sched/noop_scheduler.h"
+
+#include <algorithm>
+
+namespace mitt::sched {
+
+NoopScheduler::NoopScheduler(sim::Simulator* sim, device::DiskModel* disk,
+                             os::MittNoopPredictor* predictor)
+    : sim_(sim), disk_(disk), predictor_(predictor) {
+  disk_->set_completion_listener([this](IoRequest* req) { OnDeviceCompletion(req); });
+  disk_->set_capacity_listener([this] { DispatchMore(); });
+}
+
+void NoopScheduler::Submit(IoRequest* req) {
+  req->submit_time = sim_->Now();
+  if (predictor_ != nullptr && predictor_->ShouldReject(req)) {
+    // Fast rejection: the IO is never queued (§3.3 "the rejected request is
+    // not queued; it is automatically cancelled").
+    if (req->on_complete) {
+      req->on_complete(*req, Status::Ebusy());
+    }
+    return;
+  }
+  if (predictor_ != nullptr) {
+    predictor_->OnAccepted(*req);
+  }
+  dispatch_queue_.push_back(req);
+  DispatchMore();
+}
+
+void NoopScheduler::DispatchMore() {
+  while (!dispatch_queue_.empty() && disk_->CanAccept()) {
+    IoRequest* req = dispatch_queue_.front();
+    dispatch_queue_.pop_front();
+    disk_->Submit(req);
+  }
+}
+
+void NoopScheduler::OnDeviceCompletion(IoRequest* req) {
+  if (predictor_ != nullptr) {
+    // Actual processing time: the span the device spent on this IO, bounded
+    // below by the previous completion (the OS cannot see inside the device
+    // queue; §7.8.2).
+    const DurationNs actual =
+        sim_->Now() - std::max(req->dispatch_time, last_completion_);
+    predictor_->OnCompletion(*req, actual);
+  }
+  last_completion_ = sim_->Now();
+  if (req->on_complete) {
+    req->on_complete(*req, Status::Ok());
+  }
+  DispatchMore();
+}
+
+}  // namespace mitt::sched

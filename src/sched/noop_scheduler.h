@@ -1,0 +1,40 @@
+// Noop (FIFO) IO scheduler (§4.1): arriving IOs go to a FIFO dispatch queue
+// whose items are absorbed into the disk's device queue as it drains. With a
+// MittNoopPredictor attached, IOs that cannot meet their deadline SLO are
+// completed immediately with EBUSY and never queued.
+
+#ifndef MITTOS_SCHED_NOOP_SCHEDULER_H_
+#define MITTOS_SCHED_NOOP_SCHEDULER_H_
+
+#include <deque>
+
+#include "src/device/disk_model.h"
+#include "src/os/mitt_noop.h"
+#include "src/sched/scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::sched {
+
+class NoopScheduler : public IoScheduler {
+ public:
+  // `predictor` may be null (vanilla noop). The scheduler installs itself as
+  // the disk's completion listener.
+  NoopScheduler(sim::Simulator* sim, device::DiskModel* disk, os::MittNoopPredictor* predictor);
+
+  void Submit(IoRequest* req) override;
+  size_t PendingCount() const override { return dispatch_queue_.size(); }
+
+ private:
+  void DispatchMore();
+  void OnDeviceCompletion(IoRequest* req);
+
+  sim::Simulator* sim_;
+  device::DiskModel* disk_;
+  os::MittNoopPredictor* predictor_;
+  std::deque<IoRequest*> dispatch_queue_;
+  TimeNs last_completion_ = 0;
+};
+
+}  // namespace mitt::sched
+
+#endif  // MITTOS_SCHED_NOOP_SCHEDULER_H_

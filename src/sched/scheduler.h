@@ -1,0 +1,31 @@
+// Abstract IO scheduler interface sitting between the OS block layer and a
+// device. Concrete implementations: NoopScheduler (FIFO, §4.1) and
+// CfqScheduler (§4.2). A scheduler may carry a Mitt* admission predictor; in
+// that case IOs whose SLO cannot be met complete immediately with EBUSY
+// instead of being queued.
+
+#ifndef MITTOS_SCHED_SCHEDULER_H_
+#define MITTOS_SCHED_SCHEDULER_H_
+
+#include <cstddef>
+
+#include "src/sched/io_request.h"
+
+namespace mitt::sched {
+
+class IoScheduler {
+ public:
+  virtual ~IoScheduler() = default;
+
+  // Hands an IO to the scheduler. The IO either completes later through its
+  // on_complete callback with kOk, or (SLO-aware schedulers only) completes —
+  // possibly synchronously, inside this call — with kEbusy.
+  virtual void Submit(IoRequest* req) = 0;
+
+  // IOs inside scheduler queues, excluding those held by the device.
+  virtual size_t PendingCount() const = 0;
+};
+
+}  // namespace mitt::sched
+
+#endif  // MITTOS_SCHED_SCHEDULER_H_

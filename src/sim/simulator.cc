@@ -1,0 +1,114 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace mitt::sim {
+
+EventId Simulator::Schedule(DurationNs delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return ScheduleInternal(now_ + delay, /*daemon=*/false, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(TimeNs when, std::function<void()> fn) {
+  return ScheduleInternal(when, /*daemon=*/false, std::move(fn));
+}
+
+EventId Simulator::ScheduleDaemon(DurationNs delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return ScheduleInternal(now_ + delay, /*daemon=*/true, std::move(fn));
+}
+
+EventId Simulator::ScheduleInternal(TimeNs when, bool daemon, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  const uint64_t seq = next_seq_++;
+  const EventId id = seq;  // seq doubles as a unique id (never reused).
+  heap_.push(Event{when, seq, id, daemon, std::move(fn)});
+  if (!daemon) {
+    ++non_daemon_pending_;
+  }
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId) {
+    return false;
+  }
+  // Ids are monotonically increasing; an id >= next_seq_ was never issued.
+  if (id >= next_seq_) {
+    return false;
+  }
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted) {
+    ++cancelled_pending_;
+  }
+  return inserted;
+}
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    if (!ev.daemon) {
+      --non_daemon_pending_;
+    }
+    const auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_pending_;
+      continue;
+    }
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (non_daemon_pending_ > 0 && Step()) {
+  }
+}
+
+void Simulator::RunUntil(TimeNs deadline) {
+  while (!heap_.empty()) {
+    // Skip cancelled events without advancing time.
+    if (cancelled_.count(heap_.top().id) > 0) {
+      const Event& top = heap_.top();
+      if (!top.daemon) {
+        --non_daemon_pending_;
+      }
+      cancelled_.erase(top.id);
+      --cancelled_pending_;
+      heap_.pop();
+      continue;
+    }
+    if (heap_.top().when > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+bool Simulator::RunUntilPredicate(const std::function<bool()>& pred) {
+  if (pred()) {
+    return true;
+  }
+  while (non_daemon_pending_ > 0 && Step()) {
+    if (pred()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mitt::sim

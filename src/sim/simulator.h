@@ -1,0 +1,98 @@
+// Deterministic discrete-event simulation engine.
+//
+// Every MittOS component — devices, schedulers, the OS, network links,
+// clients, noise injectors — is an actor that schedules callbacks on one
+// Simulator. Events fire in (time, sequence) order, so two events at the same
+// instant fire in scheduling order and a run is reproducible bit-for-bit.
+
+#ifndef MITTOS_SIM_SIMULATOR_H_
+#define MITTOS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace mitt::sim {
+
+// Handle for cancelling a scheduled event. Cancellation is lazy: the event
+// stays queued but its callback is skipped when it reaches the front.
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now (delay < 0 is clamped to 0).
+  EventId Schedule(DurationNs delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `when` (clamped to Now()).
+  EventId ScheduleAt(TimeNs when, std::function<void()> fn);
+
+  // Daemon variants: periodic/background timers (cache flushers, snitch
+  // refreshes, GC) that must not keep Run() alive. Run() returns once only
+  // daemon events remain; a daemon event still fires if a non-daemon event
+  // later than it exists.
+  EventId ScheduleDaemon(DurationNs delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  bool Cancel(EventId id);
+
+  // Runs until the event queue is empty.
+  void Run();
+
+  // Runs until simulated time reaches `deadline` (events at exactly `deadline`
+  // are executed) or the queue drains.
+  void RunUntil(TimeNs deadline);
+
+  // Runs until `pred()` returns true (checked after each event) or the queue
+  // drains. Returns true if the predicate was satisfied.
+  bool RunUntilPredicate(const std::function<bool()>& pred);
+
+  size_t pending_events() const { return heap_.size() - cancelled_pending_; }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs when;
+    uint64_t seq;
+    EventId id;
+    bool daemon;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  EventId ScheduleInternal(TimeNs when, bool daemon, std::function<void()> fn);
+
+  // Pops and executes the earliest event. Returns false if the queue is empty.
+  bool Step();
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t executed_ = 0;
+  size_t cancelled_pending_ = 0;
+  size_t non_daemon_pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> heap_;
+  // Cancelled event ids not yet popped off the heap.
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace mitt::sim
+
+#endif  // MITTOS_SIM_SIMULATOR_H_

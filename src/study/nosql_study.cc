@@ -1,0 +1,70 @@
+#include "src/study/nosql_study.h"
+
+#include "src/harness/experiment.h"
+
+namespace mitt::study {
+
+const std::vector<NosqlSystemModel>& PaperNosqlSystems() {
+  static const std::vector<NosqlSystemModel>* systems = [] {
+    auto* s = new std::vector<NosqlSystemModel>;
+    s->push_back({"Cassandra", Seconds(12), true, true, false, true});
+    s->push_back({"Couchbase", Seconds(75), false, false, false, false});
+    s->push_back({"HBase", Seconds(60), true, true, false, false});
+    s->push_back({"MongoDB", Seconds(30), false, false, false, false});
+    s->push_back({"Riak", Seconds(10), false, false, false, false});
+    s->push_back({"Voldemort", Seconds(5), true, false, false, false});
+    return s;
+  }();
+  return *systems;
+}
+
+std::vector<NosqlStudyRow> RunNosqlStudy(const NosqlStudyOptions& options) {
+  std::vector<NosqlStudyRow> rows;
+  for (const NosqlSystemModel& system : PaperNosqlSystems()) {
+    harness::ExperimentOptions exp;
+    exp.num_nodes = 3;  // 3 replicas, 1 client node (§2).
+    exp.num_clients = 4;
+    exp.measure_requests = options.requests;
+    exp.warmup_requests = 100;
+    exp.noise = harness::NoiseKind::kRotating;
+    exp.rotate_period = Seconds(1);
+    exp.noise_horizon = Seconds(600);
+    exp.num_keys_per_node = 1 << 20;
+    exp.seed = options.seed;
+
+    NosqlStudyRow row;
+    row.name = system.name;
+    row.default_timeout = system.default_timeout;
+    row.supports_clone = system.supports_clone;
+    row.supports_hedged = system.supports_hedged;
+
+    // Default configuration: the system's own (coarse) timeout. Snitching
+    // systems route by replica score but still never time out.
+    {
+      harness::ExperimentOptions def = exp;
+      def.app_timeout = system.default_timeout;
+      harness::Experiment experiment(def);
+      harness::RunResult result = system.snitching
+                                      ? experiment.Run(harness::StrategyKind::kSnitch)
+                                      : experiment.Run(harness::StrategyKind::kAppTimeout);
+      row.default_tt = result.timeouts_fired > 0;
+      row.default_p99 = result.get_latencies.Percentile(99);
+    }
+
+    // Forced 100 ms timeout: do we see failovers, or user-visible errors?
+    {
+      harness::ExperimentOptions exp100 = exp;
+      exp100.app_timeout = Millis(100);
+      exp100.app_timeout_failover = system.failover_on_timeout;
+      harness::Experiment experiment(exp100);
+      harness::RunResult result = experiment.Run(harness::StrategyKind::kAppTimeout);
+      row.failover_at_100ms = system.failover_on_timeout && result.timeouts_fired > 0;
+      row.errors_at_100ms = result.user_errors;
+    }
+
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace mitt::study

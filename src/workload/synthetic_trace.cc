@@ -1,0 +1,114 @@
+#include "src/workload/synthetic_trace.h"
+
+namespace mitt::workload {
+
+const std::vector<TraceProfile>& PaperTraceProfiles() {
+  static const std::vector<TraceProfile>* profiles = [] {
+    auto* p = new std::vector<TraceProfile>;
+    // DAPPS: hosted application servers — moderate rate, mixed sizes.
+    p->push_back({.name = "DAPPS",
+                  .read_ratio = 0.56,
+                  .mean_interarrival = Millis(3),
+                  .burst_time_fraction = 0.25,
+                  .burst_speedup = 6.0,
+                  .size_mix = {{4096, 0.4}, {8192, 0.3}, {32768, 0.2}, {65536, 0.1}},
+                  .sequential_prob = 0.25,
+                  .hot_regions = 64});
+    // DTRS: developer tools release server — read-mostly distribution server.
+    p->push_back({.name = "DTRS",
+                  .read_ratio = 0.91,
+                  .mean_interarrival = Millis(2),
+                  .burst_time_fraction = 0.2,
+                  .burst_speedup = 5.0,
+                  .size_mix = {{4096, 0.3}, {16384, 0.3}, {65536, 0.4}},
+                  .sequential_prob = 0.45,
+                  .hot_regions = 32});
+    // EXCH: Exchange mail server — write-heavy, small random IO, bursty.
+    p->push_back({.name = "EXCH",
+                  .read_ratio = 0.43,
+                  .mean_interarrival = Micros(1500),
+                  .burst_time_fraction = 0.3,
+                  .burst_speedup = 10.0,
+                  .size_mix = {{4096, 0.5}, {8192, 0.35}, {32768, 0.15}},
+                  .sequential_prob = 0.1,
+                  .hot_regions = 128});
+    // LMBE: live maps back-end — large sequential reads with bursts.
+    p->push_back({.name = "LMBE",
+                  .read_ratio = 0.78,
+                  .mean_interarrival = Millis(2),
+                  .burst_time_fraction = 0.25,
+                  .burst_speedup = 7.0,
+                  .size_mix = {{8192, 0.3}, {65536, 0.5}, {262144, 0.2}},
+                  .sequential_prob = 0.55,
+                  .hot_regions = 16});
+    // TPCC: OLTP — small random IOs, high concurrency, moderate writes.
+    p->push_back({.name = "TPCC",
+                  .read_ratio = 0.65,
+                  .mean_interarrival = kMillisecond,
+                  .burst_time_fraction = 0.35,
+                  .burst_speedup = 8.0,
+                  .size_mix = {{4096, 0.8}, {8192, 0.2}},
+                  .sequential_prob = 0.05,
+                  .hot_regions = 256});
+    return p;
+  }();
+  return *profiles;
+}
+
+std::vector<TraceRecord> GenerateTrace(const TraceProfile& profile, DurationNs duration,
+                                       uint64_t seed) {
+  Rng rng(seed ^ (profile.name.empty() ? 0 : static_cast<uint64_t>(profile.name[0]) * 131));
+  ZipfianGenerator region_zipf(static_cast<uint64_t>(profile.hot_regions), 0.9);
+
+  std::vector<TraceRecord> out;
+  const int64_t region_size = profile.span_bytes / profile.hot_regions;
+
+  TimeNs t = 0;
+  int64_t last_end = 0;
+  bool in_burst = false;
+  TimeNs phase_end = 0;
+  const double mean_iat = static_cast<double>(profile.mean_interarrival);
+
+  while (t < duration) {
+    // ON/OFF burst phases with exponential phase lengths.
+    if (t >= phase_end) {
+      in_burst = rng.NextDouble() < profile.burst_time_fraction;
+      const double mean_phase =
+          in_burst ? static_cast<double>(Millis(300)) : static_cast<double>(Millis(900));
+      phase_end = t + static_cast<DurationNs>(rng.Exponential(mean_phase));
+    }
+    const double rate_scale = in_burst ? 1.0 / profile.burst_speedup : 1.0;
+    t += static_cast<DurationNs>(rng.Exponential(mean_iat * rate_scale)) + 1;
+    if (t >= duration) {
+      break;
+    }
+
+    TraceRecord rec;
+    rec.at = t;
+    rec.is_read = rng.NextDouble() < profile.read_ratio;
+
+    // Size mix.
+    double pick = rng.NextDouble();
+    rec.size = profile.size_mix.back().first;
+    for (const auto& [size, weight] : profile.size_mix) {
+      if (pick < weight) {
+        rec.size = size;
+        break;
+      }
+      pick -= weight;
+    }
+
+    // Spatial locality: continue sequentially or jump to a hot region.
+    if (rng.NextDouble() < profile.sequential_prob) {
+      rec.offset = last_end;
+    } else {
+      const auto region = static_cast<int64_t>(region_zipf.Next(rng));
+      rec.offset = region * region_size + rng.UniformInt(0, region_size - rec.size - 1);
+    }
+    last_end = rec.offset + rec.size;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace mitt::workload

@@ -1,0 +1,25 @@
+#include "src/workload/ycsb.h"
+
+namespace mitt::workload {
+
+YcsbWorkload::YcsbWorkload(const Options& options) : options_(options), rng_(options.seed) {
+  if (options_.distribution == KeyDistribution::kZipfian) {
+    zipf_ = std::make_unique<ZipfianGenerator>(options_.num_keys);
+  }
+}
+
+YcsbWorkload::Op YcsbWorkload::Next() {
+  Op op;
+  op.is_read = rng_.NextDouble() < options_.read_fraction;
+  if (zipf_ != nullptr) {
+    // Scramble so hot keys spread over the key space (YCSB's scrambled
+    // zipfian), which also spreads them across replica nodes.
+    const uint64_t raw = zipf_->Next(rng_);
+    op.key = (raw * 0xFD70'49FF'5E2B'226DULL + 0x9E37'79B9ULL) % options_.num_keys;
+  } else {
+    op.key = static_cast<uint64_t>(rng_.UniformInt(0, static_cast<int64_t>(options_.num_keys) - 1));
+  }
+  return op;
+}
+
+}  // namespace mitt::workload

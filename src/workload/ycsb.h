@@ -1,0 +1,45 @@
+// YCSB-style key-value workload generator (§7: "we use YCSB to generate 1KB
+// key-value get() operations"). Produces a deterministic stream of get/put
+// operations over a key space with uniform or zipfian popularity.
+
+#ifndef MITTOS_WORKLOAD_YCSB_H_
+#define MITTOS_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/rng.h"
+
+namespace mitt::workload {
+
+enum class KeyDistribution { kUniform, kZipfian };
+
+class YcsbWorkload {
+ public:
+  struct Options {
+    uint64_t num_keys = 1 << 20;
+    double read_fraction = 1.0;  // Workload C (read-only) by default.
+    KeyDistribution distribution = KeyDistribution::kZipfian;
+    uint64_t seed = 1;
+  };
+
+  struct Op {
+    bool is_read;
+    uint64_t key;
+  };
+
+  explicit YcsbWorkload(const Options& options);
+
+  Op Next();
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+};
+
+}  // namespace mitt::workload
+
+#endif  // MITTOS_WORKLOAD_YCSB_H_

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/cpu_pool.h"
+#include "src/cluster/network.h"
+#include "src/kv/doc_store_node.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::cluster {
+namespace {
+
+TEST(CpuPoolTest, SingleCoreSerializes) {
+  sim::Simulator sim;
+  CpuPool cpu(&sim, 1);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 3; ++i) {
+    cpu.Execute(Micros(100), [&] { done.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], Micros(100));
+  EXPECT_EQ(done[1], Micros(200));
+  EXPECT_EQ(done[2], Micros(300));
+}
+
+TEST(CpuPoolTest, MultiCoreRunsInParallel) {
+  sim::Simulator sim;
+  CpuPool cpu(&sim, 4);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 4; ++i) {
+    cpu.Execute(Micros(100), [&] { done.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(done.size(), 4u);
+  for (const TimeNs t : done) {
+    EXPECT_EQ(t, Micros(100));
+  }
+}
+
+TEST(CpuPoolTest, OverloadQueues) {
+  sim::Simulator sim;
+  CpuPool cpu(&sim, 8);
+  // 12 jobs on 8 cores (the §7.5 hedge-contention situation): the last 4
+  // wait a full burst.
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 12; ++i) {
+    cpu.Execute(Micros(200), [&] { done.push_back(sim.Now()); });
+  }
+  EXPECT_EQ(cpu.active(), 8);
+  EXPECT_EQ(cpu.queued(), 4u);
+  sim.Run();
+  ASSERT_EQ(done.size(), 12u);
+  EXPECT_EQ(done[7], Micros(200));
+  EXPECT_EQ(done[11], Micros(400));
+}
+
+TEST(NetworkTest, DeliveryTakesOneHop) {
+  sim::Simulator sim;
+  NetworkParams params;
+  Network net(&sim, params, 3);
+  TimeNs delivered = -1;
+  net.Deliver([&] { delivered = sim.Now(); });
+  sim.Run();
+  EXPECT_GE(delivered, params.one_way - params.jitter);
+  EXPECT_LE(delivered, params.one_way + params.jitter);
+  EXPECT_EQ(net.round_trip_estimate(), 2 * params.one_way);
+}
+
+kv::DocStoreNode::Options SmallNodeOptions() {
+  kv::DocStoreNode::Options opt;
+  opt.num_keys = 1 << 16;
+  opt.os.backend = os::BackendKind::kDiskCfq;
+  return opt;
+}
+
+TEST(ClusterTest, ReplicasAreDistinctAndStable) {
+  sim::Simulator sim;
+  Cluster::Options opt;
+  opt.num_nodes = 20;
+  opt.node = SmallNodeOptions();
+  opt.node.os.mitt_enabled = false;
+  Cluster cluster(&sim, opt);
+  for (uint64_t key = 0; key < 500; ++key) {
+    const auto replicas = cluster.ReplicasOf(key);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas, cluster.ReplicasOf(key));
+    const std::set<int> unique(replicas.begin(), replicas.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(ClusterTest, PrimariesSpreadAcrossNodes) {
+  sim::Simulator sim;
+  Cluster::Options opt;
+  opt.num_nodes = 20;
+  opt.node = SmallNodeOptions();
+  opt.node.os.mitt_enabled = false;
+  Cluster cluster(&sim, opt);
+  std::vector<int> hits(20, 0);
+  for (uint64_t key = 0; key < 4000; ++key) {
+    ++hits[static_cast<size_t>(cluster.ReplicasOf(key)[0])];
+  }
+  for (const int h : hits) {
+    EXPECT_GT(h, 100);
+    EXPECT_LT(h, 400);
+  }
+}
+
+TEST(ClusterTest, SharedCpuPoolIsShared) {
+  sim::Simulator sim;
+  Cluster::Options opt;
+  opt.num_nodes = 6;
+  opt.shared_cpu_cores = 8;
+  opt.node = SmallNodeOptions();
+  opt.node.os.mitt_enabled = false;
+  Cluster cluster(&sim, opt);
+  EXPECT_EQ(&cluster.node(0).cpu(), &cluster.node(5).cpu());
+  EXPECT_FALSE(cluster.node(0).owns_cpu());
+}
+
+class DocStoreNodeTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+};
+
+TEST_F(DocStoreNodeTest, CachedGetIsSubMillisecond) {
+  kv::DocStoreNode::Options opt = SmallNodeOptions();
+  kv::DocStoreNode node(&sim_, 0, opt);
+  node.WarmCache(1.0);
+  TimeNs done = -1;
+  Status status = Status::Internal();
+  node.HandleGet(42, sched::kNoDeadline, [&](Status s) {
+    status = s;
+    done = sim_.Now();
+  });
+  sim_.RunUntilPredicate([&] { return done >= 0; });
+  EXPECT_TRUE(status.ok());
+  EXPECT_LT(done, kMillisecond);
+}
+
+TEST_F(DocStoreNodeTest, UncachedGetHitsDisk) {
+  kv::DocStoreNode::Options opt = SmallNodeOptions();
+  kv::DocStoreNode node(&sim_, 0, opt);
+  TimeNs done = -1;
+  node.HandleGet(42, sched::kNoDeadline, [&](Status) { done = sim_.Now(); });
+  sim_.RunUntilPredicate([&] { return done >= 0; });
+  EXPECT_GT(done, kMillisecond);
+}
+
+TEST_F(DocStoreNodeTest, MmapPathUsesAddrCheckEbusy) {
+  kv::DocStoreNode::Options opt = SmallNodeOptions();
+  opt.access = kv::AccessPath::kMmapAddrCheck;
+  kv::DocStoreNode node(&sim_, 0, opt);
+  node.WarmCache(1.0);
+  node.os().DropCachedFraction(1.0);  // Everything swapped out.
+  Status status = Status::Internal();
+  TimeNs done = -1;
+  node.HandleGet(42, Micros(100), [&](Status s) {
+    status = s;
+    done = sim_.Now();
+  });
+  sim_.RunUntilPredicate([&] { return done >= 0; });
+  EXPECT_TRUE(status.busy());
+  EXPECT_LT(done, Millis(1));  // Instant rejection, no disk wait.
+  EXPECT_GT(node.ebusy_returned(), 0u);
+}
+
+TEST_F(DocStoreNodeTest, ReadPathPropagatesDeadline) {
+  kv::DocStoreNode::Options opt = SmallNodeOptions();
+  opt.access = kv::AccessPath::kRead;
+  kv::DocStoreNode node(&sim_, 0, opt);
+  // Saturate the disk with raw reads so MittCFQ predicts a long wait.
+  const uint64_t noise_file = node.os().CreateFile(50LL << 30);
+  for (int i = 0; i < 40; ++i) {
+    os::Os::ReadArgs args;
+    args.file = noise_file;
+    args.offset = static_cast<int64_t>(i) << 30;
+    args.size = 1 << 20;
+    args.pid = 99;
+    args.bypass_cache = true;
+    node.os().Read(args, nullptr);
+  }
+  Status status = Status::Internal();
+  TimeNs done = -1;
+  node.HandleGet(7, Millis(15), [&](Status s) {
+    status = s;
+    done = sim_.Now();
+  });
+  sim_.RunUntilPredicate([&] { return done >= 0; });
+  EXPECT_TRUE(status.busy());
+  EXPECT_LT(done, kMillisecond);
+}
+
+TEST_F(DocStoreNodeTest, ExceptionPathCostsMore) {
+  auto run = [&](bool exceptions) {
+    sim::Simulator sim;
+    kv::DocStoreNode::Options opt = SmallNodeOptions();
+    opt.access = kv::AccessPath::kMmapAddrCheck;
+    opt.exception_on_ebusy = exceptions;
+    kv::DocStoreNode node(&sim, 0, opt);
+    TimeNs done = -1;
+    node.HandleGet(42, Micros(50), [&](Status) { done = sim.Now(); });
+    sim.RunUntilPredicate([&] { return done >= 0; });
+    return done;
+  };
+  const TimeNs exceptionless = run(false);
+  const TimeNs with_exceptions = run(true);
+  EXPECT_NEAR(static_cast<double>(with_exceptions - exceptionless),
+              static_cast<double>(Micros(200)), static_cast<double>(Micros(20)));
+}
+
+TEST_F(DocStoreNodeTest, PutIsBufferedAndFast) {
+  kv::DocStoreNode::Options opt = SmallNodeOptions();
+  kv::DocStoreNode node(&sim_, 0, opt);
+  TimeNs done = -1;
+  Status status = Status::Internal();
+  node.HandlePut(42, [&](Status s) {
+    status = s;
+    done = sim_.Now();
+  });
+  sim_.RunUntilPredicate([&] { return done >= 0; });
+  EXPECT_TRUE(status.ok());
+  EXPECT_LT(done, Millis(1));
+}
+
+}  // namespace
+}  // namespace mitt::cluster

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/latency_recorder.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/table.h"
+#include "src/common/time.h"
+
+namespace mitt {
+namespace {
+
+TEST(TimeTest, UnitConstants) {
+  EXPECT_EQ(Micros(1), 1000);
+  EXPECT_EQ(Millis(1), 1'000'000);
+  EXPECT_EQ(Seconds(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(13)), 13.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(8) + Millis(500)), 8.5);
+}
+
+TEST(TimeTest, FormatPicksUnit) {
+  EXPECT_EQ(FormatDuration(820), "820ns");
+  EXPECT_EQ(FormatDuration(Micros(5)), "5.000us");
+  EXPECT_EQ(FormatDuration(Millis(13)), "13.000ms");
+  EXPECT_EQ(FormatDuration(Seconds(2)), "2.000s");
+}
+
+TEST(StatusTest, Basics) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_FALSE(Status::Ok().busy());
+  EXPECT_TRUE(Status::Ebusy().busy());
+  EXPECT_FALSE(Status::Ebusy().ok());
+  EXPECT_EQ(Status::Ebusy().name(), "EBUSY");
+  EXPECT_EQ(Status::NotFound().name(), "NOT_FOUND");
+  EXPECT_EQ(Status(), Status::Ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng a(7);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.Next(), fork.Next());
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, BoundedParetoRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.BoundedPareto(1.0, 100.0, 1.3);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(ZipfianTest, RangeAndSkew) {
+  Rng rng(29);
+  ZipfianGenerator zipf(1000);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = zipf.Next(rng);
+    EXPECT_LT(v, 1000u);
+    if (v < 10) {
+      ++head;
+    }
+  }
+  // YCSB-zipfian: the hottest 1% of keys should draw far more than 1% of
+  // accesses.
+  EXPECT_GT(head, n / 10);
+}
+
+TEST(LatencyRecorderTest, Percentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) {
+    rec.Record(Millis(i));
+  }
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_EQ(rec.Percentile(50), Millis(50));
+  EXPECT_EQ(rec.Percentile(95), Millis(95));
+  EXPECT_EQ(rec.Percentile(100), Millis(100));
+  EXPECT_EQ(rec.Min(), Millis(1));
+  EXPECT_EQ(rec.Max(), Millis(100));
+  EXPECT_NEAR(rec.MeanNs(), static_cast<double>(Millis(50)) + Millis(1) / 2.0,
+              static_cast<double>(Millis(1)));
+}
+
+TEST(LatencyRecorderTest, EmptyIsSafe) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.Percentile(95), 0);
+  EXPECT_EQ(rec.Min(), 0);
+  EXPECT_EQ(rec.Max(), 0);
+  EXPECT_DOUBLE_EQ(rec.MeanNs(), 0.0);
+  EXPECT_TRUE(rec.CdfSeries(10).empty());
+}
+
+TEST(LatencyRecorderTest, FractionBelow) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 10; ++i) {
+    rec.Record(Millis(i));
+  }
+  EXPECT_DOUBLE_EQ(rec.FractionBelow(Millis(5)), 0.5);
+  EXPECT_DOUBLE_EQ(rec.FractionBelow(Millis(100)), 1.0);
+  EXPECT_DOUBLE_EQ(rec.FractionBelow(0), 0.0);
+}
+
+TEST(LatencyRecorderTest, CdfSeriesMonotone) {
+  LatencyRecorder rec;
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    rec.Record(rng.UniformInt(0, Millis(100)));
+  }
+  const auto cdf = rec.CdfSeries(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].latency, cdf[i - 1].latency);
+    EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(ReductionTest, PaperFormula) {
+  // Footnote 2: (T_other - T_mitt) / T_other.
+  EXPECT_DOUBLE_EQ(ReductionPercent(Millis(10), Millis(13)), 100.0 * 3 / 13);
+  EXPECT_DOUBLE_EQ(ReductionPercent(Millis(13), Millis(13)), 0.0);
+  EXPECT_LT(ReductionPercent(Millis(20), Millis(13)), 0.0);  // Mitt slower -> negative.
+  EXPECT_DOUBLE_EQ(ReductionPercent(Millis(5), DurationNs{0}), 0.0);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "p95"});
+  t.AddRow({"Hedged", "13.0"});
+  t.AddRow({"MittCFQ", "10.0"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("MittCFQ  10.0"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(10, 0), "10");
+}
+
+}  // namespace
+}  // namespace mitt

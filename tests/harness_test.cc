@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/harness/experiment.h"
+#include "src/study/nosql_study.h"
+
+namespace mitt::harness {
+namespace {
+
+// A small but end-to-end experiment: 3 nodes, continuous noise on node 0,
+// all keys pinned to node 0's primary ownership (the §7.1 microbenchmark
+// shape). Small request counts keep the suite fast.
+ExperimentOptions MicroOptions() {
+  ExperimentOptions opt;
+  opt.num_nodes = 3;
+  opt.num_clients = 2;
+  opt.measure_requests = 600;
+  opt.warmup_requests = 50;
+  opt.pin_primary_node = 0;
+  opt.noise = NoiseKind::kContinuous;
+  opt.continuous_intensity = 2;
+  opt.deadline = Millis(20);
+  opt.hedge_delay = Millis(20);
+  opt.app_timeout = Millis(20);
+  opt.num_keys_per_node = 1 << 19;
+  opt.seed = 2024;
+  return opt;
+}
+
+TEST(ExperimentTest, MittosBeatsBaseUnderContinuousNoise) {
+  Experiment experiment(MicroOptions());
+  const RunResult base = experiment.Run(StrategyKind::kBase);
+  const RunResult mitt = experiment.Run(StrategyKind::kMittos);
+  ASSERT_EQ(base.requests, 650u);
+  ASSERT_EQ(mitt.requests, 650u);
+  EXPECT_GT(mitt.ebusy_failovers, 0u);
+  // The noisy primary dominates Base's distribution; MittOS fails over fast.
+  EXPECT_LT(mitt.get_latencies.Percentile(90), base.get_latencies.Percentile(90));
+  EXPECT_LT(mitt.get_latencies.Percentile(90), Millis(20));
+}
+
+TEST(ExperimentTest, MittosBeatsHedgedAtTail) {
+  Experiment experiment(MicroOptions());
+  const RunResult hedged = experiment.Run(StrategyKind::kHedged);
+  const RunResult mitt = experiment.Run(StrategyKind::kMittos);
+  EXPECT_GT(hedged.hedges_sent, 0u);
+  // Hedged waits 20ms before reacting; MittOS does not wait.
+  EXPECT_LT(mitt.get_latencies.Percentile(90), hedged.get_latencies.Percentile(90));
+}
+
+TEST(ExperimentTest, RunAllDerivesP95Values) {
+  ExperimentOptions opt = MicroOptions();
+  opt.deadline = -1;
+  opt.hedge_delay = -1;
+  opt.app_timeout = -1;
+  opt.measure_requests = 300;
+  Experiment experiment(opt);
+  const auto results =
+      experiment.RunAll({StrategyKind::kBase, StrategyKind::kMittos});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].name, "Base");
+  EXPECT_EQ(results[1].name, "MittOS");
+  EXPECT_GT(experiment.derived_p95(), 0);
+  EXPECT_EQ(experiment.options().deadline, experiment.derived_p95());
+}
+
+TEST(ExperimentTest, ScaleFactorAmplifiesUserLatency) {
+  ExperimentOptions opt = MicroOptions();
+  opt.noise = NoiseKind::kNone;
+  opt.pin_primary_node = -1;
+  opt.scale_factor = 5;
+  opt.measure_requests = 300;
+  Experiment experiment(opt);
+  const RunResult result = experiment.Run(StrategyKind::kBase);
+  // A user request waits for all 5 gets: its median exceeds the get median.
+  EXPECT_GT(result.user_latencies.Percentile(50), result.get_latencies.Percentile(50));
+  EXPECT_EQ(result.user_latencies.count() * 5, result.get_latencies.count());
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  Experiment a(MicroOptions());
+  Experiment b(MicroOptions());
+  const RunResult ra = a.Run(StrategyKind::kMittos);
+  const RunResult rb = b.Run(StrategyKind::kMittos);
+  EXPECT_EQ(ra.get_latencies.Percentile(95), rb.get_latencies.Percentile(95));
+  EXPECT_EQ(ra.ebusy_failovers, rb.ebusy_failovers);
+  EXPECT_EQ(ra.sim_duration, rb.sim_duration);
+}
+
+TEST(ExperimentTest, Ec2NoiseProducesTailsNotMedians) {
+  ExperimentOptions opt = MicroOptions();
+  opt.num_nodes = 9;
+  opt.num_clients = 6;
+  opt.pin_primary_node = -1;
+  opt.noise = NoiseKind::kEc2;
+  opt.ec2 = CompressedEc2Noise();
+  opt.measure_requests = 1200;
+  Experiment experiment(opt);
+  const RunResult base = experiment.Run(StrategyKind::kBase);
+  // Medians stay mechanical; the tail shows the noise.
+  EXPECT_LT(base.get_latencies.Percentile(50), Millis(15));
+  EXPECT_GT(base.get_latencies.Percentile(99),
+            2 * base.get_latencies.Percentile(50));
+}
+
+TEST(NosqlStudyTest, ReproducesTableOneFindings) {
+  study::NosqlStudyOptions opt;
+  opt.requests = 400;
+  const auto rows = study::RunNosqlStudy(opt);
+  ASSERT_EQ(rows.size(), 6u);
+
+  std::map<std::string, study::NosqlStudyRow> by_name;
+  for (const auto& row : rows) {
+    by_name[row.name] = row;
+  }
+  // Finding 1: no system fails over in its default configuration.
+  for (const auto& row : rows) {
+    EXPECT_FALSE(row.default_tt) << row.name;
+    EXPECT_GE(row.default_timeout, Seconds(5)) << row.name;
+    // And the rotating contention produces a long default tail.
+    EXPECT_GT(row.default_p99, Millis(20)) << row.name;
+  }
+  // Finding 2: with a 100ms timeout, three systems fail over, three surface
+  // read errors to the user.
+  int failover = 0;
+  int erroring = 0;
+  for (const auto& row : rows) {
+    if (row.failover_at_100ms) {
+      ++failover;
+      EXPECT_EQ(row.errors_at_100ms, 0u) << row.name;
+    } else if (row.errors_at_100ms > 0) {
+      ++erroring;
+    }
+  }
+  EXPECT_EQ(failover, 3);
+  EXPECT_EQ(erroring, 3);
+  // Finding 3: only two systems support cloning; none support hedged.
+  int clones = 0;
+  for (const auto& row : rows) {
+    clones += row.supports_clone ? 1 : 0;
+    EXPECT_FALSE(row.supports_hedged) << row.name;
+  }
+  EXPECT_EQ(clones, 2);
+}
+
+}  // namespace
+}  // namespace mitt::harness

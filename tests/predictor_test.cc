@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/device/disk_model.h"
+#include "src/device/disk_profile.h"
+#include "src/device/ssd_model.h"
+#include "src/device/ssd_profile.h"
+#include "src/os/mitt_cfq.h"
+#include "src/os/mitt_noop.h"
+#include "src/os/mitt_ssd.h"
+#include "src/sched/cfq_scheduler.h"
+#include "src/sched/noop_scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::os {
+namespace {
+
+using sched::IoClass;
+using sched::IoOp;
+using sched::IoRequest;
+
+class MittNoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<device::DiskModel>(&sim_, params_, 1);
+    sim::Simulator scratch;
+    device::DiskModel twin(&scratch, params_, 99);
+    profile_ = device::ProfileDisk(&scratch, &twin);
+  }
+
+  std::unique_ptr<IoRequest> MakeIo(uint64_t id, int64_t offset, DurationNs deadline) {
+    auto req = std::make_unique<IoRequest>();
+    req->id = id;
+    req->op = IoOp::kRead;
+    req->offset = offset;
+    req->size = 4096;
+    req->pid = 1;
+    req->deadline = deadline;
+    req->on_complete = [this](const IoRequest& r, Status s) {
+      results_.emplace_back(r.id, s);
+    };
+    return req;
+  }
+
+  sim::Simulator sim_;
+  device::DiskParams params_;
+  std::unique_ptr<device::DiskModel> disk_;
+  device::DiskProfile profile_;
+  std::vector<std::pair<uint64_t, Status>> results_;
+};
+
+TEST_F(MittNoopTest, AcceptsWhenIdle) {
+  MittNoopPredictor predictor(&sim_, profile_, PredictorOptions{});
+  sched::NoopScheduler noop(&sim_, disk_.get(), &predictor);
+  auto req = MakeIo(1, 100LL << 30, Millis(20));
+  noop.Submit(req.get());
+  sim_.Run();
+  ASSERT_EQ(results_.size(), 1u);
+  EXPECT_TRUE(results_[0].second.ok());
+  EXPECT_EQ(req->predicted_wait, 0);
+  EXPECT_GT(req->predicted_process, Millis(2));
+}
+
+TEST_F(MittNoopTest, RejectsWhenQueueExceedsDeadline) {
+  MittNoopPredictor predictor(&sim_, profile_, PredictorOptions{});
+  sched::NoopScheduler noop(&sim_, disk_.get(), &predictor);
+  std::vector<std::unique_ptr<IoRequest>> backlog;
+  // ~10 random reads x ~5ms each: predicted wait far above 20ms.
+  for (int i = 0; i < 10; ++i) {
+    backlog.push_back(MakeIo(static_cast<uint64_t>(i), i * (90LL << 30), sched::kNoDeadline));
+    noop.Submit(backlog.back().get());
+  }
+  auto req = MakeIo(100, 500LL << 30, Millis(20));
+  noop.Submit(req.get());
+  // EBUSY must be synchronous — before any simulated time elapses.
+  ASSERT_FALSE(results_.empty());
+  EXPECT_EQ(results_.back().first, 100u);
+  EXPECT_TRUE(results_.back().second.busy());
+  sim_.Run();
+  EXPECT_EQ(results_.size(), 11u);  // Backlog completed OK.
+}
+
+TEST_F(MittNoopTest, NoDeadlineNeverRejected) {
+  MittNoopPredictor predictor(&sim_, profile_, PredictorOptions{});
+  sched::NoopScheduler noop(&sim_, disk_.get(), &predictor);
+  std::vector<std::unique_ptr<IoRequest>> backlog;
+  for (int i = 0; i < 30; ++i) {
+    backlog.push_back(MakeIo(static_cast<uint64_t>(i), i * (30LL << 30), sched::kNoDeadline));
+    noop.Submit(backlog.back().get());
+  }
+  sim_.Run();
+  ASSERT_EQ(results_.size(), 30u);
+  for (const auto& [id, status] : results_) {
+    EXPECT_TRUE(status.ok());
+  }
+}
+
+TEST_F(MittNoopTest, PredictedWaitTracksBacklog) {
+  MittNoopPredictor predictor(&sim_, profile_, PredictorOptions{});
+  sched::NoopScheduler noop(&sim_, disk_.get(), &predictor);
+  EXPECT_EQ(predictor.PredictedWaitNow(), 0);
+  std::vector<std::unique_ptr<IoRequest>> backlog;
+  for (int i = 0; i < 5; ++i) {
+    backlog.push_back(MakeIo(static_cast<uint64_t>(i), i * (90LL << 30), sched::kNoDeadline));
+    noop.Submit(backlog.back().get());
+  }
+  EXPECT_GT(predictor.PredictedWaitNow(), Millis(10));
+  sim_.Run();
+  EXPECT_EQ(predictor.PredictedWaitNow(), 0);  // Idle again.
+}
+
+TEST_F(MittNoopTest, AccuracyModeFlagsInsteadOfRejecting) {
+  PredictorOptions opt;
+  opt.accuracy_mode = true;
+  MittNoopPredictor predictor(&sim_, profile_, opt);
+  sched::NoopScheduler noop(&sim_, disk_.get(), &predictor);
+  std::vector<std::unique_ptr<IoRequest>> backlog;
+  for (int i = 0; i < 10; ++i) {
+    backlog.push_back(MakeIo(static_cast<uint64_t>(i), i * (90LL << 30), sched::kNoDeadline));
+    noop.Submit(backlog.back().get());
+  }
+  auto req = MakeIo(100, 500LL << 30, Millis(20));
+  noop.Submit(req.get());
+  EXPECT_TRUE(req->ebusy_flagged);
+  sim_.Run();
+  // All IOs completed OK (nothing was rejected)...
+  ASSERT_EQ(results_.size(), 11u);
+  for (const auto& [id, status] : results_) {
+    EXPECT_TRUE(status.ok());
+  }
+  // ...and the stats saw one deadline IO, correctly predicted busy.
+  EXPECT_EQ(predictor.stats().total, 1u);
+  EXPECT_EQ(predictor.stats().flagged, 1u);
+  EXPECT_EQ(predictor.stats().false_positives, 0u);
+  EXPECT_EQ(predictor.stats().false_negatives, 0u);
+}
+
+TEST_F(MittNoopTest, FalsePositiveInjectionRejectsIdleIo) {
+  PredictorOptions opt;
+  opt.false_positive_rate = 1.0;
+  MittNoopPredictor predictor(&sim_, profile_, opt);
+  sched::NoopScheduler noop(&sim_, disk_.get(), &predictor);
+  auto req = MakeIo(1, 100LL << 30, Millis(20));
+  noop.Submit(req.get());
+  ASSERT_EQ(results_.size(), 1u);
+  EXPECT_TRUE(results_[0].second.busy());
+}
+
+TEST_F(MittNoopTest, FalseNegativeInjectionLetsBusyIoThrough) {
+  PredictorOptions opt;
+  opt.false_negative_rate = 1.0;
+  MittNoopPredictor predictor(&sim_, profile_, opt);
+  sched::NoopScheduler noop(&sim_, disk_.get(), &predictor);
+  std::vector<std::unique_ptr<IoRequest>> backlog;
+  for (int i = 0; i < 10; ++i) {
+    backlog.push_back(MakeIo(static_cast<uint64_t>(i), i * (90LL << 30), sched::kNoDeadline));
+    noop.Submit(backlog.back().get());
+  }
+  auto req = MakeIo(100, 500LL << 30, Millis(20));
+  noop.Submit(req.get());
+  sim_.Run();
+  ASSERT_EQ(results_.size(), 11u);
+  for (const auto& [id, status] : results_) {
+    EXPECT_TRUE(status.ok());  // Never rejected.
+  }
+}
+
+class MittCfqTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<device::DiskModel>(&sim_, params_, 1);
+    sim::Simulator scratch;
+    device::DiskModel twin(&scratch, params_, 99);
+    profile_ = device::ProfileDisk(&scratch, &twin);
+  }
+
+  std::unique_ptr<IoRequest> MakeIo(uint64_t id, int64_t offset, DurationNs deadline,
+                                    int32_t pid = 1, IoClass io_class = IoClass::kBestEffort) {
+    auto req = std::make_unique<IoRequest>();
+    req->id = id;
+    req->op = IoOp::kRead;
+    req->offset = offset;
+    req->size = 4096;
+    req->pid = pid;
+    req->io_class = io_class;
+    req->deadline = deadline;
+    req->on_complete = [this](const IoRequest& r, Status s) {
+      results_.emplace_back(r.id, s);
+    };
+    return req;
+  }
+
+  sim::Simulator sim_;
+  device::DiskParams params_;
+  std::unique_ptr<device::DiskModel> disk_;
+  device::DiskProfile profile_;
+  std::vector<std::pair<uint64_t, Status>> results_;
+};
+
+TEST_F(MittCfqTest, RejectsBehindHeavyBacklog) {
+  MittCfqPredictor predictor(&sim_, profile_, PredictorOptions{}, MittCfqOptions{});
+  sched::CfqScheduler cfq(&sim_, disk_.get(), &predictor);
+  std::vector<std::unique_ptr<IoRequest>> backlog;
+  for (int i = 0; i < 40; ++i) {
+    backlog.push_back(
+        MakeIo(static_cast<uint64_t>(i), i * (20LL << 30), sched::kNoDeadline, /*pid=*/2));
+    cfq.Submit(backlog.back().get());
+  }
+  auto req = MakeIo(100, 500LL << 30, Millis(20));
+  cfq.Submit(req.get());
+  ASSERT_FALSE(results_.empty());
+  EXPECT_EQ(results_.back().first, 100u);
+  EXPECT_TRUE(results_.back().second.busy());
+  EXPECT_GT(req->predicted_wait, Millis(20));
+  sim_.Run();
+}
+
+TEST_F(MittCfqTest, HigherClassArrivalCancelsBumpedIo) {
+  params_.queue_depth = 2;  // Keep the backlog inside CFQ queues.
+  disk_ = std::make_unique<device::DiskModel>(&sim_, params_, 2);
+  MittCfqPredictor predictor(&sim_, profile_, PredictorOptions{}, MittCfqOptions{});
+  sched::CfqScheduler cfq(&sim_, disk_.get(), &predictor);
+
+  // A best-effort IO accepted with a deadline just above its predicted wait.
+  std::vector<std::unique_ptr<IoRequest>> ios;
+  for (int i = 0; i < 3; ++i) {
+    ios.push_back(MakeIo(static_cast<uint64_t>(i), i * (40LL << 30), sched::kNoDeadline));
+    cfq.Submit(ios.back().get());
+  }
+  auto victim = MakeIo(50, 300LL << 30, Millis(25));
+  cfq.Submit(victim.get());
+  ASSERT_TRUE(results_.empty() || results_.back().first != 50u);  // Accepted.
+
+  // A burst of RealTime IOs bumps the best-effort victim past its deadline.
+  std::vector<std::unique_ptr<IoRequest>> rt;
+  bool victim_cancelled = false;
+  for (int i = 0; i < 12; ++i) {
+    rt.push_back(MakeIo(static_cast<uint64_t>(200 + i), (100 + i * 60) * (1LL << 30),
+                        sched::kNoDeadline, /*pid=*/3, IoClass::kRealTime));
+    cfq.Submit(rt.back().get());
+    for (const auto& [id, status] : results_) {
+      if (id == 50 && status.busy()) {
+        victim_cancelled = true;
+      }
+    }
+    if (victim_cancelled) {
+      break;
+    }
+  }
+  EXPECT_TRUE(victim_cancelled);
+  sim_.Run();
+}
+
+TEST_F(MittCfqTest, BumpCancellationDisabledKeepsVictim) {
+  params_.queue_depth = 2;
+  disk_ = std::make_unique<device::DiskModel>(&sim_, params_, 3);
+  MittCfqOptions cfq_opt;
+  cfq_opt.bump_cancellation = false;
+  MittCfqPredictor predictor(&sim_, profile_, PredictorOptions{}, cfq_opt);
+  sched::CfqScheduler cfq(&sim_, disk_.get(), &predictor);
+
+  std::vector<std::unique_ptr<IoRequest>> ios;
+  for (int i = 0; i < 3; ++i) {
+    ios.push_back(MakeIo(static_cast<uint64_t>(i), i * (40LL << 30), sched::kNoDeadline));
+    cfq.Submit(ios.back().get());
+  }
+  auto victim = MakeIo(50, 300LL << 30, Millis(25));
+  cfq.Submit(victim.get());
+  std::vector<std::unique_ptr<IoRequest>> rt;
+  for (int i = 0; i < 12; ++i) {
+    rt.push_back(MakeIo(static_cast<uint64_t>(200 + i), (100 + i * 60) * (1LL << 30),
+                        sched::kNoDeadline, /*pid=*/3, IoClass::kRealTime));
+    cfq.Submit(rt.back().get());
+  }
+  sim_.Run();
+  for (const auto& [id, status] : results_) {
+    if (id == 50) {
+      EXPECT_TRUE(status.ok());  // Completed late but never cancelled.
+    }
+  }
+}
+
+class MittSsdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ssd_ = std::make_unique<device::SsdModel>(&sim_, params_, 1);
+    sim::Simulator scratch;
+    device::SsdModel twin(&scratch, params_, 99);
+    profile_ = device::ProfileSsd(&scratch, &twin);
+  }
+
+  std::unique_ptr<IoRequest> MakeIo(uint64_t id, int64_t offset, int64_t size,
+                                    DurationNs deadline, IoOp op = IoOp::kRead) {
+    auto req = std::make_unique<IoRequest>();
+    req->id = id;
+    req->op = op;
+    req->offset = offset;
+    req->size = size;
+    req->pid = 1;
+    req->deadline = deadline;
+    req->on_complete = [this](const IoRequest& r, Status s) {
+      results_.emplace_back(r.id, s);
+    };
+    return req;
+  }
+
+  sim::Simulator sim_;
+  device::SsdParams params_;
+  std::unique_ptr<device::SsdModel> ssd_;
+  device::SsdProfile profile_;
+  std::vector<std::pair<uint64_t, Status>> results_;
+};
+
+TEST_F(MittSsdTest, AcceptsFastReadOnIdleSsd) {
+  MittSsdPredictor predictor(&sim_, ssd_.get(), profile_, PredictorOptions{}, MittSsdOptions{});
+  SsdBlockLayer layer(&sim_, ssd_.get(), &predictor);
+  auto req = MakeIo(1, 0, params_.page_size, Millis(1));
+  layer.Submit(req.get());
+  sim_.Run();
+  ASSERT_EQ(results_.size(), 1u);
+  EXPECT_TRUE(results_[0].second.ok());
+}
+
+TEST_F(MittSsdTest, RejectsReadQueuedBehindErase) {
+  MittSsdPredictor predictor(&sim_, ssd_.get(), profile_, PredictorOptions{}, MittSsdOptions{});
+  SsdBlockLayer layer(&sim_, ssd_.get(), &predictor);
+  auto erase = MakeIo(1, 0, params_.page_size, sched::kNoDeadline, IoOp::kErase);
+  layer.Submit(erase.get());
+  auto req = MakeIo(2, 0, params_.page_size, Millis(1));  // Same chip 0.
+  layer.Submit(req.get());
+  ASSERT_EQ(results_.size(), 1u);
+  EXPECT_EQ(results_[0].first, 2u);
+  EXPECT_TRUE(results_[0].second.busy());
+  sim_.Run();
+}
+
+TEST_F(MittSsdTest, OtherChipsUnaffectedByBusyChip) {
+  MittSsdPredictor predictor(&sim_, ssd_.get(), profile_, PredictorOptions{}, MittSsdOptions{});
+  SsdBlockLayer layer(&sim_, ssd_.get(), &predictor);
+  auto erase = MakeIo(1, 0, params_.page_size, sched::kNoDeadline, IoOp::kErase);
+  layer.Submit(erase.get());
+  // Chip 1 (different channel as well): unaffected, accepted.
+  auto req = MakeIo(2, params_.page_size, params_.page_size, Millis(1));
+  layer.Submit(req.get());
+  sim_.Run();
+  bool saw_ok = false;
+  for (const auto& [id, status] : results_) {
+    if (id == 2) {
+      EXPECT_TRUE(status.ok());
+      saw_ok = true;
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+}
+
+TEST_F(MittSsdTest, StripedRequestRejectedIfAnySubIoBusy) {
+  MittSsdPredictor predictor(&sim_, ssd_.get(), profile_, PredictorOptions{}, MittSsdOptions{});
+  SsdBlockLayer layer(&sim_, ssd_.get(), &predictor);
+  auto erase = MakeIo(1, 3 * params_.page_size, params_.page_size, sched::kNoDeadline,
+                      IoOp::kErase);  // Chip 3 busy for 6ms.
+  layer.Submit(erase.get());
+  // An 8-page read covering chips 0..7 — one sub-IO (chip 3) violates.
+  auto req = MakeIo(2, 0, 8 * params_.page_size, Millis(1));
+  layer.Submit(req.get());
+  ASSERT_EQ(results_.size(), 1u);
+  EXPECT_TRUE(results_[0].second.busy());
+  sim_.Run();
+}
+
+TEST_F(MittSsdTest, ChannelContentionCountsTowardWait) {
+  MittSsdPredictor predictor(&sim_, ssd_.get(), profile_, PredictorOptions{}, MittSsdOptions{});
+  SsdBlockLayer layer(&sim_, ssd_.get(), &predictor);
+  // Load chips 16, 32, 48... (channel 0, different chips) with reads.
+  std::vector<std::unique_ptr<IoRequest>> load;
+  for (int i = 1; i < 8; ++i) {
+    const int chip = i * params_.num_channels;  // All on channel 0.
+    load.push_back(
+        MakeIo(static_cast<uint64_t>(i), static_cast<int64_t>(chip) * params_.page_size,
+               params_.page_size, sched::kNoDeadline));
+    layer.Submit(load.back().get());
+  }
+  auto probe = MakeIo(100, 0, params_.page_size, sched::kNoDeadline);
+  const DurationNs wait = predictor.PredictedWait(*probe);
+  // 7 outstanding same-channel IOs x ~60us channel delay.
+  EXPECT_NEAR(static_cast<double>(wait), static_cast<double>(7 * profile_.channel_delay),
+              static_cast<double>(Micros(30)));
+  sim_.Run();
+}
+
+TEST_F(MittSsdTest, PerChipTrackingAblationOverestimates) {
+  MittSsdOptions opt;
+  opt.per_chip_tracking = false;
+  MittSsdPredictor predictor(&sim_, ssd_.get(), profile_, PredictorOptions{}, opt);
+  SsdBlockLayer layer(&sim_, ssd_.get(), &predictor);
+  auto erase = MakeIo(1, 0, params_.page_size, sched::kNoDeadline, IoOp::kErase);
+  layer.Submit(erase.get());
+  // Different chip, but the single-queue strawman predicts the whole device
+  // busy -> spurious rejection ("ten IOs going to ten separate channels do
+  // not create queueing delays" — unless you model it wrong).
+  auto req = MakeIo(2, params_.page_size, params_.page_size, Millis(1));
+  layer.Submit(req.get());
+  ASSERT_EQ(results_.size(), 1u);
+  EXPECT_TRUE(results_[0].second.busy());
+  sim_.Run();
+}
+
+}  // namespace
+}  // namespace mitt::os

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace mitt::sim {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Millis(30), [&] { order.push_back(3); });
+  sim.Schedule(Millis(10), [&] { order.push_back(1); });
+  sim.Schedule(Millis(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Millis(30));
+}
+
+TEST(SimulatorTest, SameTimeFifoBySchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  TimeNs inner_fired = -1;
+  sim.Schedule(Millis(1), [&] {
+    sim.Schedule(Millis(2), [&] { inner_fired = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_fired, Millis(3));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  TimeNs fired = -1;
+  sim.Schedule(Millis(5), [&] {
+    sim.Schedule(-Millis(3), [&] { fired = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, Millis(5));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.Schedule(Millis(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // Second cancel is a no-op.
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelUnknownIdFails) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(kInvalidEventId));
+  EXPECT_FALSE(sim.Cancel(99999));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(Millis(1), [&] { ++count; });
+  sim.Schedule(Millis(2), [&] { ++count; });
+  sim.Schedule(Millis(10), [&] { ++count; });
+  sim.RunUntil(Millis(5));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), Millis(5));
+  sim.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(Seconds(3));
+  EXPECT_EQ(sim.Now(), Seconds(3));
+}
+
+TEST(SimulatorTest, RunUntilPredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(Millis(i), [&] { ++count; });
+  }
+  EXPECT_TRUE(sim.RunUntilPredicate([&] { return count == 4; }));
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.Now(), Millis(4));
+}
+
+TEST(SimulatorTest, RunUntilPredicateExhaustsQueue) {
+  Simulator sim;
+  sim.Schedule(Millis(1), [] {});
+  EXPECT_FALSE(sim.RunUntilPredicate([] { return false; }));
+}
+
+TEST(SimulatorTest, PendingAndExecutedCounts) {
+  Simulator sim;
+  const EventId a = sim.Schedule(Millis(1), [] {});
+  sim.Schedule(Millis(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.executed_events(), 1u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotAdvanceClock) {
+  Simulator sim;
+  const EventId id = sim.Schedule(Seconds(100), [] {});
+  sim.Cancel(id);
+  sim.Schedule(Millis(1), [] {});
+  sim.Run();
+  EXPECT_EQ(sim.Now(), Millis(1));
+}
+
+}  // namespace
+}  // namespace mitt::sim
