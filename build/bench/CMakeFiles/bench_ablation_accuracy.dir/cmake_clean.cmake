@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_accuracy.dir/accuracy_replay.cc.o"
+  "CMakeFiles/bench_ablation_accuracy.dir/accuracy_replay.cc.o.d"
+  "CMakeFiles/bench_ablation_accuracy.dir/bench_ablation_accuracy.cc.o"
+  "CMakeFiles/bench_ablation_accuracy.dir/bench_ablation_accuracy.cc.o.d"
+  "bench_ablation_accuracy"
+  "bench_ablation_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

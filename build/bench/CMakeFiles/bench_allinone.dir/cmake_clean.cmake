@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allinone.dir/bench_allinone.cc.o"
+  "CMakeFiles/bench_allinone.dir/bench_allinone.cc.o.d"
+  "bench_allinone"
+  "bench_allinone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allinone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

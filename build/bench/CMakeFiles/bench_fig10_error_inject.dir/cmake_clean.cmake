@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_error_inject.dir/bench_fig10_error_inject.cc.o"
+  "CMakeFiles/bench_fig10_error_inject.dir/bench_fig10_error_inject.cc.o.d"
+  "bench_fig10_error_inject"
+  "bench_fig10_error_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_error_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

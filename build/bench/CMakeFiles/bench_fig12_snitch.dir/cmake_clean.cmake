@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_snitch.dir/bench_fig12_snitch.cc.o"
+  "CMakeFiles/bench_fig12_snitch.dir/bench_fig12_snitch.cc.o.d"
+  "bench_fig12_snitch"
+  "bench_fig12_snitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_snitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_riak.cc" "bench/CMakeFiles/bench_fig13_riak.dir/bench_fig13_riak.cc.o" "gcc" "bench/CMakeFiles/bench_fig13_riak.dir/bench_fig13_riak.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mitt_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_riak.dir/bench_fig13_riak.cc.o"
+  "CMakeFiles/bench_fig13_riak.dir/bench_fig13_riak.cc.o.d"
+  "bench_fig13_riak"
+  "bench_fig13_riak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_riak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dynamism.dir/bench_fig3_dynamism.cc.o"
+  "CMakeFiles/bench_fig3_dynamism.dir/bench_fig3_dynamism.cc.o.d"
+  "bench_fig3_dynamism"
+  "bench_fig3_dynamism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dynamism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_ec2_cfq.dir/bench_fig5_ec2_cfq.cc.o"
+  "CMakeFiles/bench_fig5_ec2_cfq.dir/bench_fig5_ec2_cfq.cc.o.d"
+  "bench_fig5_ec2_cfq"
+  "bench_fig5_ec2_cfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ec2_cfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

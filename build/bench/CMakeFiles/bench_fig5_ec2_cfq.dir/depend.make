@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_ec2_cfq.
+# This may be replaced when dependencies are built.

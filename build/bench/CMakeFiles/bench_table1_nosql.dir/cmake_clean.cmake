@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_nosql.dir/bench_table1_nosql.cc.o"
+  "CMakeFiles/bench_table1_nosql.dir/bench_table1_nosql.cc.o.d"
+  "bench_table1_nosql"
+  "bench_table1_nosql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_nosql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_writes.dir/bench_writes.cc.o"
+  "CMakeFiles/bench_writes.dir/bench_writes.cc.o.d"
+  "bench_writes"
+  "bench_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_tuning.dir/deadline_tuning.cpp.o"
+  "CMakeFiles/deadline_tuning.dir/deadline_tuning.cpp.o.d"
+  "deadline_tuning"
+  "deadline_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

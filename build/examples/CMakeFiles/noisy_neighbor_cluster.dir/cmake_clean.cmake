@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_neighbor_cluster.dir/noisy_neighbor_cluster.cpp.o"
+  "CMakeFiles/noisy_neighbor_cluster.dir/noisy_neighbor_cluster.cpp.o.d"
+  "noisy_neighbor_cluster"
+  "noisy_neighbor_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_neighbor_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_aware_lsm.dir/slo_aware_lsm.cpp.o"
+  "CMakeFiles/slo_aware_lsm.dir/slo_aware_lsm.cpp.o.d"
+  "slo_aware_lsm"
+  "slo_aware_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_aware_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/adaptive.cc" "src/CMakeFiles/mitt_client.dir/client/adaptive.cc.o" "gcc" "src/CMakeFiles/mitt_client.dir/client/adaptive.cc.o.d"
+  "/root/repo/src/client/clone.cc" "src/CMakeFiles/mitt_client.dir/client/clone.cc.o" "gcc" "src/CMakeFiles/mitt_client.dir/client/clone.cc.o.d"
+  "/root/repo/src/client/hedged.cc" "src/CMakeFiles/mitt_client.dir/client/hedged.cc.o" "gcc" "src/CMakeFiles/mitt_client.dir/client/hedged.cc.o.d"
+  "/root/repo/src/client/mittos_client.cc" "src/CMakeFiles/mitt_client.dir/client/mittos_client.cc.o" "gcc" "src/CMakeFiles/mitt_client.dir/client/mittos_client.cc.o.d"
+  "/root/repo/src/client/strategy.cc" "src/CMakeFiles/mitt_client.dir/client/strategy.cc.o" "gcc" "src/CMakeFiles/mitt_client.dir/client/strategy.cc.o.d"
+  "/root/repo/src/client/timeout.cc" "src/CMakeFiles/mitt_client.dir/client/timeout.cc.o" "gcc" "src/CMakeFiles/mitt_client.dir/client/timeout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mitt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

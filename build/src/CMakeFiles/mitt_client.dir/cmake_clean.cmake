@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_client.dir/client/adaptive.cc.o"
+  "CMakeFiles/mitt_client.dir/client/adaptive.cc.o.d"
+  "CMakeFiles/mitt_client.dir/client/clone.cc.o"
+  "CMakeFiles/mitt_client.dir/client/clone.cc.o.d"
+  "CMakeFiles/mitt_client.dir/client/hedged.cc.o"
+  "CMakeFiles/mitt_client.dir/client/hedged.cc.o.d"
+  "CMakeFiles/mitt_client.dir/client/mittos_client.cc.o"
+  "CMakeFiles/mitt_client.dir/client/mittos_client.cc.o.d"
+  "CMakeFiles/mitt_client.dir/client/strategy.cc.o"
+  "CMakeFiles/mitt_client.dir/client/strategy.cc.o.d"
+  "CMakeFiles/mitt_client.dir/client/timeout.cc.o"
+  "CMakeFiles/mitt_client.dir/client/timeout.cc.o.d"
+  "libmitt_client.a"
+  "libmitt_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_cluster.dir/cluster/cluster.cc.o"
+  "CMakeFiles/mitt_cluster.dir/cluster/cluster.cc.o.d"
+  "libmitt_cluster.a"
+  "libmitt_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_common.dir/common/latency_recorder.cc.o"
+  "CMakeFiles/mitt_common.dir/common/latency_recorder.cc.o.d"
+  "CMakeFiles/mitt_common.dir/common/rng.cc.o"
+  "CMakeFiles/mitt_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/mitt_common.dir/common/status.cc.o"
+  "CMakeFiles/mitt_common.dir/common/status.cc.o.d"
+  "CMakeFiles/mitt_common.dir/common/table.cc.o"
+  "CMakeFiles/mitt_common.dir/common/table.cc.o.d"
+  "CMakeFiles/mitt_common.dir/common/time.cc.o"
+  "CMakeFiles/mitt_common.dir/common/time.cc.o.d"
+  "libmitt_common.a"
+  "libmitt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

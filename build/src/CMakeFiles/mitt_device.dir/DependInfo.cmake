@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/disk_model.cc" "src/CMakeFiles/mitt_device.dir/device/disk_model.cc.o" "gcc" "src/CMakeFiles/mitt_device.dir/device/disk_model.cc.o.d"
+  "/root/repo/src/device/disk_profile.cc" "src/CMakeFiles/mitt_device.dir/device/disk_profile.cc.o" "gcc" "src/CMakeFiles/mitt_device.dir/device/disk_profile.cc.o.d"
+  "/root/repo/src/device/ssd_model.cc" "src/CMakeFiles/mitt_device.dir/device/ssd_model.cc.o" "gcc" "src/CMakeFiles/mitt_device.dir/device/ssd_model.cc.o.d"
+  "/root/repo/src/device/ssd_profile.cc" "src/CMakeFiles/mitt_device.dir/device/ssd_profile.cc.o" "gcc" "src/CMakeFiles/mitt_device.dir/device/ssd_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mitt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

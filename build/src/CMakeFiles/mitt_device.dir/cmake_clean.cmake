@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_device.dir/device/disk_model.cc.o"
+  "CMakeFiles/mitt_device.dir/device/disk_model.cc.o.d"
+  "CMakeFiles/mitt_device.dir/device/disk_profile.cc.o"
+  "CMakeFiles/mitt_device.dir/device/disk_profile.cc.o.d"
+  "CMakeFiles/mitt_device.dir/device/ssd_model.cc.o"
+  "CMakeFiles/mitt_device.dir/device/ssd_model.cc.o.d"
+  "CMakeFiles/mitt_device.dir/device/ssd_profile.cc.o"
+  "CMakeFiles/mitt_device.dir/device/ssd_profile.cc.o.d"
+  "libmitt_device.a"
+  "libmitt_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/mitt_harness.dir/harness/experiment.cc.o.d"
+  "libmitt_harness.a"
+  "libmitt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

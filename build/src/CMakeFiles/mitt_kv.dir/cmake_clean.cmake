@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_kv.dir/kv/doc_store_node.cc.o"
+  "CMakeFiles/mitt_kv.dir/kv/doc_store_node.cc.o.d"
+  "libmitt_kv.a"
+  "libmitt_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_lsm.dir/lsm/bloom.cc.o"
+  "CMakeFiles/mitt_lsm.dir/lsm/bloom.cc.o.d"
+  "CMakeFiles/mitt_lsm.dir/lsm/lsm_node.cc.o"
+  "CMakeFiles/mitt_lsm.dir/lsm/lsm_node.cc.o.d"
+  "CMakeFiles/mitt_lsm.dir/lsm/lsm_tree.cc.o"
+  "CMakeFiles/mitt_lsm.dir/lsm/lsm_tree.cc.o.d"
+  "CMakeFiles/mitt_lsm.dir/lsm/memtable.cc.o"
+  "CMakeFiles/mitt_lsm.dir/lsm/memtable.cc.o.d"
+  "CMakeFiles/mitt_lsm.dir/lsm/sstable.cc.o"
+  "CMakeFiles/mitt_lsm.dir/lsm/sstable.cc.o.d"
+  "libmitt_lsm.a"
+  "libmitt_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

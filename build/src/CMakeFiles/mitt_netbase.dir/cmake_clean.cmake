@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_netbase.dir/cluster/cpu_pool.cc.o"
+  "CMakeFiles/mitt_netbase.dir/cluster/cpu_pool.cc.o.d"
+  "CMakeFiles/mitt_netbase.dir/cluster/network.cc.o"
+  "CMakeFiles/mitt_netbase.dir/cluster/network.cc.o.d"
+  "libmitt_netbase.a"
+  "libmitt_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_noise.dir/noise/ec2_noise.cc.o"
+  "CMakeFiles/mitt_noise.dir/noise/ec2_noise.cc.o.d"
+  "CMakeFiles/mitt_noise.dir/noise/noise_injector.cc.o"
+  "CMakeFiles/mitt_noise.dir/noise/noise_injector.cc.o.d"
+  "libmitt_noise.a"
+  "libmitt_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

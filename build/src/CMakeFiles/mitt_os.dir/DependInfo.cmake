@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/os.cc" "src/CMakeFiles/mitt_os.dir/os/os.cc.o" "gcc" "src/CMakeFiles/mitt_os.dir/os/os.cc.o.d"
+  "/root/repo/src/os/page_cache.cc" "src/CMakeFiles/mitt_os.dir/os/page_cache.cc.o" "gcc" "src/CMakeFiles/mitt_os.dir/os/page_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mitt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

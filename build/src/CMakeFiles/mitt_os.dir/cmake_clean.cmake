@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_os.dir/os/os.cc.o"
+  "CMakeFiles/mitt_os.dir/os/os.cc.o.d"
+  "CMakeFiles/mitt_os.dir/os/page_cache.cc.o"
+  "CMakeFiles/mitt_os.dir/os/page_cache.cc.o.d"
+  "libmitt_os.a"
+  "libmitt_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

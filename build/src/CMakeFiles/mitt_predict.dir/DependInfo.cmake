@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/mitt_cfq.cc" "src/CMakeFiles/mitt_predict.dir/os/mitt_cfq.cc.o" "gcc" "src/CMakeFiles/mitt_predict.dir/os/mitt_cfq.cc.o.d"
+  "/root/repo/src/os/mitt_noop.cc" "src/CMakeFiles/mitt_predict.dir/os/mitt_noop.cc.o" "gcc" "src/CMakeFiles/mitt_predict.dir/os/mitt_noop.cc.o.d"
+  "/root/repo/src/os/mitt_ssd.cc" "src/CMakeFiles/mitt_predict.dir/os/mitt_ssd.cc.o" "gcc" "src/CMakeFiles/mitt_predict.dir/os/mitt_ssd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mitt_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

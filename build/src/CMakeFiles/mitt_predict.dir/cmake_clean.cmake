@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_predict.dir/os/mitt_cfq.cc.o"
+  "CMakeFiles/mitt_predict.dir/os/mitt_cfq.cc.o.d"
+  "CMakeFiles/mitt_predict.dir/os/mitt_noop.cc.o"
+  "CMakeFiles/mitt_predict.dir/os/mitt_noop.cc.o.d"
+  "CMakeFiles/mitt_predict.dir/os/mitt_ssd.cc.o"
+  "CMakeFiles/mitt_predict.dir/os/mitt_ssd.cc.o.d"
+  "libmitt_predict.a"
+  "libmitt_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mitt_predict.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_ring.dir/kv/ring_coordinator.cc.o"
+  "CMakeFiles/mitt_ring.dir/kv/ring_coordinator.cc.o.d"
+  "libmitt_ring.a"
+  "libmitt_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmitt_ring.a"
+)

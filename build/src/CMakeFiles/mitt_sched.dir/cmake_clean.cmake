@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_sched.dir/sched/cfq_scheduler.cc.o"
+  "CMakeFiles/mitt_sched.dir/sched/cfq_scheduler.cc.o.d"
+  "CMakeFiles/mitt_sched.dir/sched/noop_scheduler.cc.o"
+  "CMakeFiles/mitt_sched.dir/sched/noop_scheduler.cc.o.d"
+  "libmitt_sched.a"
+  "libmitt_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/mitt_sim.dir/sim/simulator.cc.o.d"
+  "libmitt_sim.a"
+  "libmitt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

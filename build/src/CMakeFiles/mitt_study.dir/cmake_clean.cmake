@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_study.dir/study/nosql_study.cc.o"
+  "CMakeFiles/mitt_study.dir/study/nosql_study.cc.o.d"
+  "libmitt_study.a"
+  "libmitt_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/macro_workload.cc" "src/CMakeFiles/mitt_workload.dir/workload/macro_workload.cc.o" "gcc" "src/CMakeFiles/mitt_workload.dir/workload/macro_workload.cc.o.d"
+  "/root/repo/src/workload/synthetic_trace.cc" "src/CMakeFiles/mitt_workload.dir/workload/synthetic_trace.cc.o" "gcc" "src/CMakeFiles/mitt_workload.dir/workload/synthetic_trace.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/mitt_workload.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/mitt_workload.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mitt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mitt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

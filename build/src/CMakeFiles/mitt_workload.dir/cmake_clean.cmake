@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitt_workload.dir/workload/macro_workload.cc.o"
+  "CMakeFiles/mitt_workload.dir/workload/macro_workload.cc.o.d"
+  "CMakeFiles/mitt_workload.dir/workload/synthetic_trace.cc.o"
+  "CMakeFiles/mitt_workload.dir/workload/synthetic_trace.cc.o.d"
+  "CMakeFiles/mitt_workload.dir/workload/ycsb.cc.o"
+  "CMakeFiles/mitt_workload.dir/workload/ycsb.cc.o.d"
+  "libmitt_workload.a"
+  "libmitt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
