@@ -18,13 +18,14 @@ namespace {
 using namespace mitt;
 using harness::StrategyKind;
 
-void RunUser(const char* label, harness::ExperimentOptions opt) {
-  harness::Experiment experiment(opt);
-  const auto base = experiment.Run(StrategyKind::kBase);
-  const auto mitt = experiment.Run(StrategyKind::kMittos);
-  std::printf("\n--- %s ---\n", label);
-  harness::PrintPercentileTable({base, mitt}, {50, 80, 90, 95, 99}, /*user_level=*/false);
-  std::printf("MittOS failovers: %lu\n", static_cast<unsigned long>(mitt.ebusy_failovers));
+harness::ExperimentOptions CommonUser() {
+  harness::ExperimentOptions opt;
+  opt.num_nodes = 3;
+  opt.num_clients = 2;
+  opt.measure_requests = 3000;
+  opt.warmup_requests = 200;
+  opt.pin_primary_node = 0;
+  return opt;
 }
 
 }  // namespace
@@ -32,25 +33,23 @@ void RunUser(const char* label, harness::ExperimentOptions opt) {
 int main() {
   std::printf("=== §7.8.5: all three MittOS managers in one deployment ===\n");
 
+  std::vector<const char*> labels;
+  std::vector<harness::Trial> trials;
+  auto add_user = [&](const char* label, const harness::ExperimentOptions& opt) {
+    labels.push_back(label);
+    trials.push_back({opt, StrategyKind::kBase, ""});
+    trials.push_back({opt, StrategyKind::kMittos, ""});
+  };
+
   {
-    harness::ExperimentOptions opt;  // User 1: disk-resident data, 20ms SLO.
-    opt.num_nodes = 3;
-    opt.num_clients = 2;
-    opt.measure_requests = 3000;
-    opt.warmup_requests = 200;
-    opt.pin_primary_node = 0;
+    harness::ExperimentOptions opt = CommonUser();  // User 1: disk data, 20ms SLO.
     opt.noise = harness::NoiseKind::kContinuous;
     opt.deadline = Millis(20);
     opt.seed = 8501;
-    RunUser("User A: disk data, deadline 20ms, disk-contention noise (MittCFQ)", opt);
+    add_user("User A: disk data, deadline 20ms, disk-contention noise (MittCFQ)", opt);
   }
   {
-    harness::ExperimentOptions opt;  // User 2: SSD-resident data, 2ms SLO.
-    opt.num_nodes = 3;
-    opt.num_clients = 2;
-    opt.measure_requests = 3000;
-    opt.warmup_requests = 200;
-    opt.pin_primary_node = 0;
+    harness::ExperimentOptions opt = CommonUser();  // User 2: SSD data, 2ms SLO.
     opt.backend = os::BackendKind::kSsd;
     opt.noise = harness::NoiseKind::kContinuous;
     opt.noise_op = sched::IoOp::kWrite;
@@ -59,15 +58,10 @@ int main() {
     opt.continuous_intensity = 1;
     opt.deadline = Millis(2);
     opt.seed = 8502;
-    RunUser("User B: SSD data, deadline 2ms, background-write noise (MittSSD)", opt);
+    add_user("User B: SSD data, deadline 2ms, background-write noise (MittSSD)", opt);
   }
   {
-    harness::ExperimentOptions opt;  // User 3: cache-resident data, 0.1ms SLO.
-    opt.num_nodes = 3;
-    opt.num_clients = 2;
-    opt.measure_requests = 3000;
-    opt.warmup_requests = 200;
-    opt.pin_primary_node = 0;
+    harness::ExperimentOptions opt = CommonUser();  // User 3: cached data, 0.1ms SLO.
     opt.access = kv::AccessPath::kMmapAddrCheck;
     opt.warm_fraction = 1.0;
     opt.num_keys_per_node = 1 << 18;
@@ -77,7 +71,18 @@ int main() {
     opt.cache_drop_fraction = 0.4;  // x0.5 node factor -> ~20% swapped out.
     opt.deadline = Micros(100);
     opt.seed = 8503;
-    RunUser("User C: cached data, deadline 0.1ms, swap-out noise (MittCache)", opt);
+    add_user("User C: cached data, deadline 0.1ms, swap-out noise (MittCache)", opt);
+  }
+
+  // All six worlds (three users x {Base, MittOS}) fan out across the trial
+  // pool; the order-preserving merge keeps the per-user pairing.
+  const auto results = harness::RunTrialsParallel(trials);
+  for (size_t u = 0; u < labels.size(); ++u) {
+    const auto& base = results[2 * u];
+    const auto& mitt = results[2 * u + 1];
+    std::printf("\n--- %s ---\n", labels[u]);
+    harness::PrintPercentileTable({base, mitt}, {50, 80, 90, 95, 99}, /*user_level=*/false);
+    std::printf("MittOS failovers: %lu\n", static_cast<unsigned long>(mitt.ebusy_failovers));
   }
 
   std::printf("\nExpected: each user's Base tail collapses toward its own deadline under\n"

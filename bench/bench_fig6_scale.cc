@@ -29,18 +29,28 @@ int main() {
   std::printf("=== Figure 6: tail amplified by scale (MittCFQ vs Hedged) ===\n");
   std::printf("deadline / hedge delay = SF=1 Base p95 = %.2f ms\n", ToMillis(p95));
 
-  for (const int sf : {1, 2, 5, 10}) {
+  // All SF x strategy worlds are independent: fan the whole grid out across
+  // the trial pool and print per-SF groups from the order-preserving merge.
+  const std::vector<int> scale_factors = {1, 2, 5, 10};
+  std::vector<harness::Trial> trials;
+  for (const int sf : scale_factors) {
     harness::ExperimentOptions opt = base_opt;
     opt.scale_factor = sf;
     opt.deadline = p95;
     opt.hedge_delay = p95;
     opt.measure_requests = static_cast<size_t>(5000 / sf) + 500;
-    harness::Experiment experiment(opt);
-    const auto hedged = experiment.Run(StrategyKind::kHedged);
-    const auto mitt = experiment.Run(StrategyKind::kMittos);
-    const auto base = experiment.Run(StrategyKind::kBase);
+    trials.push_back({opt, StrategyKind::kBase, ""});
+    trials.push_back({opt, StrategyKind::kHedged, ""});
+    trials.push_back({opt, StrategyKind::kMittos, ""});
+  }
+  const auto results = harness::RunTrialsParallel(trials);
 
-    std::printf("\n--- Fig 6: scale factor SF=%d (user-request latencies) ---\n", sf);
+  for (size_t i = 0; i < scale_factors.size(); ++i) {
+    const auto& base = results[3 * i];
+    const auto& hedged = results[3 * i + 1];
+    const auto& mitt = results[3 * i + 2];
+    std::printf("\n--- Fig 6: scale factor SF=%d (user-request latencies) ---\n",
+                scale_factors[i]);
     harness::PrintPercentileTable({base, hedged, mitt}, {50, 75, 90, 95, 99},
                                   /*user_level=*/true);
     std::printf("reduction of MittCFQ vs Hedged:\n");

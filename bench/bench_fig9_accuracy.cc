@@ -7,31 +7,46 @@
 // and small mean deviations for the mispredicted IOs.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/accuracy_replay.h"
 #include "src/common/table.h"
+#include "src/harness/experiment.h"
 
 int main() {
   using namespace mitt;
 
   std::printf("=== Figure 9: prediction inaccuracy (p95 deadline per trace) ===\n\n");
 
+  // Each (trace, backend) replay is an independent simulation; fan all of
+  // them out across the trial pool. Trial 2k is trace k on disk+CFQ, trial
+  // 2k+1 is trace k on the SSD.
+  const auto profiles = workload::PaperTraceProfiles();
+  const auto results = harness::RunTrials<bench::AccuracyResult>(
+      profiles.size() * 2, [&profiles](size_t i) {
+        const auto& profile = profiles[i / 2];
+        bench::AccuracyOptions opt;
+        if (i % 2 == 0) {
+          opt.backend = os::BackendKind::kDiskCfq;
+          // Slow each trace to a rate one spindle can absorb (~40 IOPS
+          // foreground): the paper replays on a real disk, so the traces are
+          // disk-feasible.
+          opt.rate_scale = ToMillis(profile.mean_interarrival) / 25.0;
+          opt.max_ios = 4000;
+        } else {
+          opt.backend = os::BackendKind::kSsd;
+          opt.rate_scale = 16.0;  // Re-rate more intensive for 128 chips (§7.6).
+          opt.max_ios = 20000;
+        }
+        return bench::RunAccuracyReplay(profile, opt);
+      });
+
   Table table({"Trace", "CFQ FP%", "CFQ FN%", "CFQ total%", "CFQ wrong-diff",
                "SSD FP%", "SSD FN%", "SSD total%", "SSD wrong-diff"});
-  for (const auto& profile : workload::PaperTraceProfiles()) {
-    bench::AccuracyOptions disk_opt;
-    disk_opt.backend = os::BackendKind::kDiskCfq;
-    // Slow each trace to a rate one spindle can absorb (~40 IOPS foreground):
-    // the paper replays on a real disk, so the traces are disk-feasible.
-    disk_opt.rate_scale = ToMillis(profile.mean_interarrival) / 25.0;
-    disk_opt.max_ios = 4000;
-    const auto disk = bench::RunAccuracyReplay(profile, disk_opt);
-
-    bench::AccuracyOptions ssd_opt;
-    ssd_opt.backend = os::BackendKind::kSsd;
-    ssd_opt.rate_scale = 16.0;  // Re-rate more intensive for 128 chips (§7.6).
-    ssd_opt.max_ios = 20000;
-    const auto ssd = bench::RunAccuracyReplay(profile, ssd_opt);
+  for (size_t k = 0; k < profiles.size(); ++k) {
+    const auto& profile = profiles[k];
+    const auto& disk = results[2 * k];
+    const auto& ssd = results[2 * k + 1];
 
     table.AddRow({profile.name, Table::Num(disk.false_positive_pct, 2),
                   Table::Num(disk.false_negative_pct, 2), Table::Num(disk.inaccuracy_pct, 2),

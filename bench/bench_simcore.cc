@@ -1,0 +1,449 @@
+// Simulator core microbenchmark: schedule/cancel/fire churn at >= 1M events.
+//
+// Measures the event-engine hot path that every figure reproduction funnels
+// through (EXPERIMENTS.md "bench_simcore"). Two engines run the identical
+// seeded workload:
+//   - "legacy": the pre-overhaul design, embedded below as the fixed
+//     baseline — std::priority_queue over full Event structs carrying
+//     std::function closures, plus an unordered_set lazy-cancel path;
+//   - "pooled": mitt::sim::Simulator — pooled slots, InlineFunction
+//     closures, handle-ordered heap, tombstone cancels.
+//
+// The workload is a mixed churn: self-rescheduling event chains whose
+// closures capture 32 bytes (over std::function's 16-byte SBO, inside
+// InlineFunction's 48-byte buffer — the size class of the codebase's real
+// closures), a daemon ticker, and decoy events of which half are cancelled
+// while pending.
+//
+// A global operator new/delete counting hook reports allocations/event, and
+// the run *asserts* that the pooled engine's steady-state schedule->fire
+// path performs zero heap allocations (exit code 1 otherwise). Results are
+// written to BENCH_simcore.json so the perf trajectory is tracked per PR.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/sim/simulator.h"
+
+// --- Allocation-counting hook -----------------------------------------------
+
+// GCC pairs the inlined bodies of these replaced operators (malloc/free) with
+// the standard declarations and emits -Wmismatched-new-delete; the pairing is
+// in fact consistent (every path goes through these hooks).
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using mitt::DurationNs;
+using mitt::Micros;
+using mitt::Rng;
+using mitt::TimeNs;
+
+// --- Legacy engine (fixed baseline, do not "improve") ------------------------
+//
+// Verbatim structure of the pre-overhaul mitt::sim::Simulator: the heap
+// carries whole events (with their std::function closures), cancellation
+// goes through an unordered_set, pops copy the event off the heap top.
+
+namespace legacy {
+
+using EventId = uint64_t;
+
+class Simulator {
+ public:
+  TimeNs Now() const { return now_; }
+
+  EventId Schedule(DurationNs delay, std::function<void()> fn) {
+    if (delay < 0) {
+      delay = 0;
+    }
+    return ScheduleInternal(now_ + delay, false, std::move(fn));
+  }
+  EventId ScheduleDaemon(DurationNs delay, std::function<void()> fn) {
+    if (delay < 0) {
+      delay = 0;
+    }
+    return ScheduleInternal(now_ + delay, true, std::move(fn));
+  }
+  bool Cancel(EventId id) {
+    if (id == 0 || id >= next_seq_) {
+      return false;
+    }
+    return cancelled_.insert(id).second;
+  }
+  void Run() {
+    while (non_daemon_pending_ > 0 && Step()) {
+    }
+  }
+  bool RunUntilPredicate(const std::function<bool()>& pred) {
+    if (pred()) {
+      return true;
+    }
+    while (non_daemon_pending_ > 0 && Step()) {
+      if (pred()) {
+        return true;
+      }
+    }
+    return false;
+  }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs when;
+    uint64_t seq;
+    EventId id;
+    bool daemon;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  EventId ScheduleInternal(TimeNs when, bool daemon, std::function<void()> fn) {
+    if (when < now_) {
+      when = now_;
+    }
+    const uint64_t seq = next_seq_++;
+    heap_.push(Event{when, seq, seq, daemon, std::move(fn)});
+    if (!daemon) {
+      ++non_daemon_pending_;
+    }
+    return seq;
+  }
+  bool Step() {
+    while (!heap_.empty()) {
+      Event ev = heap_.top();  // Copy, as the original did.
+      heap_.pop();
+      if (!ev.daemon) {
+        --non_daemon_pending_;
+      }
+      const auto it = cancelled_.find(ev.id);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      now_ = ev.when;
+      ++executed_;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t executed_ = 0;
+  size_t non_daemon_pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace legacy
+
+// --- Workload ----------------------------------------------------------------
+
+struct ChurnResult {
+  uint64_t executed = 0;     // Events fired during the measured phase.
+  double elapsed_sec = 0;    // Wall time of the measured phase.
+  uint64_t allocs = 0;       // Allocations across warmup + measured phases.
+  uint64_t alloc_bytes = 0;
+  uint64_t steady_allocs = 0;  // Allocations during the measured phase only.
+  uint64_t cancelled = 0;
+};
+
+// Each chain callback captures the context pointer plus 24 bytes of payload:
+// 32 bytes total, over std::function's inline buffer, inside InlineFunction's.
+template <typename Sim, typename IdT>
+struct Churn {
+  struct Ctx {
+    Sim* sim = nullptr;
+    Rng rng{0};
+    uint64_t fired = 0;
+    uint64_t decoys_fired = 0;
+    uint64_t scheduled = 0;
+    uint64_t cancelled = 0;
+    uint64_t target = 0;
+    std::vector<IdT> cancel_pool;
+  };
+
+  static void ScheduleChain(Ctx* ctx) {
+    ++ctx->scheduled;
+    const uint64_t payload = ctx->rng.Next();
+    ctx->sim->Schedule(
+        static_cast<DurationNs>(ctx->rng.UniformInt(Micros(1), Micros(500))),
+        [ctx, payload, salt = payload ^ 0x9E37ULL, tag = payload >> 7] {
+          // Touch the payload so the capture is not optimized away.
+          if ((payload ^ salt ^ tag) == 0x5EED5EED5EEDULL) {
+            std::abort();
+          }
+          Tick(ctx);
+        });
+  }
+
+  static void Tick(Ctx* ctx) {
+    ++ctx->fired;
+    if (ctx->fired + ctx->decoys_fired >= ctx->target) {
+      return;  // Chain dies; Run() drains the remaining decoys.
+    }
+    ScheduleChain(ctx);
+    // Every 4th fire adds a decoy; once 64 accumulate, cancel every other
+    // one while still pending (interleaved schedule/cancel churn).
+    if (ctx->fired % 4 == 0) {
+      ++ctx->scheduled;
+      const uint64_t payload = ctx->rng.Next();
+      ctx->cancel_pool.push_back(ctx->sim->Schedule(
+          static_cast<DurationNs>(ctx->rng.UniformInt(Micros(800), Micros(4000))),
+          [ctx, payload, salt = payload ^ 0xABCDULL, tag = payload << 3] {
+            if ((payload ^ salt ^ tag) == 0x0BADF00DULL) {
+              std::abort();
+            }
+            ++ctx->decoys_fired;
+          }));
+      if (ctx->cancel_pool.size() >= 64) {
+        for (size_t i = 0; i < ctx->cancel_pool.size(); i += 2) {
+          if (ctx->sim->Cancel(ctx->cancel_pool[i])) {
+            ++ctx->cancelled;
+          }
+        }
+        ctx->cancel_pool.clear();  // Keeps capacity: no realloc next round.
+      }
+    }
+  }
+
+  static ChurnResult Run(uint64_t target_events, uint64_t warmup_events, uint64_t seed) {
+    Sim sim;
+    Ctx ctx;
+    ctx.sim = &sim;
+    ctx.rng = Rng(seed);
+    ctx.target = target_events;
+    ctx.cancel_pool.reserve(1024);
+
+    // Daemon ticker churning alongside the chains.
+    std::function<void()> beat_fn;
+    auto* beat = &beat_fn;
+    beat_fn = [&sim, beat] { sim.ScheduleDaemon(Micros(250), [beat] { (*beat)(); }); };
+    sim.ScheduleDaemon(Micros(250), [beat] { (*beat)(); });
+
+    // Capacity pre-pad: a burst of short-lived tombstones forces the event
+    // pool and heap well past their steady-state population, so the measured
+    // phase never triggers a container regrow on a random high-water mark.
+    // Both engines get the identical burst.
+    {
+      std::vector<IdT> pad;
+      pad.reserve(8192);
+      for (int i = 0; i < 8192; ++i) {
+        pad.push_back(sim.Schedule(
+            static_cast<DurationNs>(ctx.rng.UniformInt(Micros(1), Micros(2000))), [] {}));
+      }
+      for (const IdT id : pad) {
+        sim.Cancel(id);
+      }
+    }
+
+    for (int i = 0; i < 256; ++i) {
+      ScheduleChain(&ctx);
+    }
+
+    const uint64_t total_allocs_before = g_alloc_count.load();
+    const uint64_t total_bytes_before = g_alloc_bytes.load();
+
+    // Warmup: drains the pad burst and settles the decoy population.
+    sim.RunUntilPredicate([&ctx, warmup_events] {
+      return ctx.fired + ctx.decoys_fired >= warmup_events;
+    });
+
+    // Measured steady-state phase.
+    const uint64_t executed_before = sim.executed_events();
+    const uint64_t steady_allocs_before = g_alloc_count.load();
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.Run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ChurnResult r;
+    r.executed = sim.executed_events() - executed_before;
+    r.elapsed_sec = std::chrono::duration<double>(t1 - t0).count();
+    r.allocs = g_alloc_count.load() - total_allocs_before;
+    r.alloc_bytes = g_alloc_bytes.load() - total_bytes_before;
+    r.steady_allocs = g_alloc_count.load() - steady_allocs_before;
+    r.cancelled = ctx.cancelled;
+    return r;
+  }
+};
+
+double EventsPerSec(uint64_t events, double sec) {
+  return sec > 0 ? static_cast<double>(events) / sec : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t target = 1'200'000;  // >= 1M fired events per engine.
+  int reps = 3;
+  if (argc > 1) {
+    char* end = nullptr;
+    target = std::strtoull(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || target == 0 || target > 2'000'000'000ULL) {
+      std::fprintf(stderr, "usage: %s [target_events, 1..2e9] [reps, 1..100]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (argc > 2) {
+    reps = std::atoi(argv[2]);
+    if (reps < 1 || reps > 100) {
+      std::fprintf(stderr, "usage: %s [target_events, 1..2e9] [reps, 1..100]\n", argv[0]);
+      return 2;
+    }
+  }
+  const uint64_t warmup = target / 12;
+  const uint64_t seed = 0x51AC02E;
+
+  std::printf("=== bench_simcore: %llu-event schedule/cancel/fire churn, best of %d ===\n",
+              static_cast<unsigned long long>(target), reps);
+
+  // Interleave repetitions and keep each engine's fastest run: on shared or
+  // single-core machines a single rep is hostage to scheduler noise.
+  ChurnResult legacy_r, pooled_r;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::printf("[rep %d] legacy...\n", rep);
+    const auto l = Churn<legacy::Simulator, legacy::EventId>::Run(target, warmup, seed);
+    std::printf("[rep %d] pooled...\n", rep);
+    const auto p = Churn<mitt::sim::Simulator, mitt::sim::EventId>::Run(target, warmup, seed);
+    if (rep == 0 || l.elapsed_sec < legacy_r.elapsed_sec) {
+      legacy_r = l;
+    }
+    // Steady-state allocation accounting must hold on *every* rep, so carry
+    // the worst alloc counters with the best time.
+    const uint64_t worst_steady = std::max(pooled_r.steady_allocs, p.steady_allocs);
+    if (rep == 0 || p.elapsed_sec < pooled_r.elapsed_sec) {
+      pooled_r = p;
+    }
+    pooled_r.steady_allocs = worst_steady;
+  }
+
+  const double legacy_eps = EventsPerSec(legacy_r.executed, legacy_r.elapsed_sec);
+  const double pooled_eps = EventsPerSec(pooled_r.executed, pooled_r.elapsed_sec);
+  const double speedup = legacy_eps > 0 ? pooled_eps / legacy_eps : 0;
+
+  auto report = [](const char* name, const ChurnResult& r) {
+    std::printf(
+        "%-8s %9.0f events/s  %7.1f ns/event  %6.3f allocs/event  "
+        "(executed=%llu cancelled=%llu steady_allocs=%llu)\n",
+        name, EventsPerSec(r.executed, r.elapsed_sec),
+        r.executed ? 1e9 * r.elapsed_sec / static_cast<double>(r.executed) : 0.0,
+        r.executed ? static_cast<double>(r.allocs) / static_cast<double>(r.executed) : 0.0,
+        static_cast<unsigned long long>(r.executed),
+        static_cast<unsigned long long>(r.cancelled),
+        static_cast<unsigned long long>(r.steady_allocs));
+  };
+  report("legacy", legacy_r);
+  report("pooled", pooled_r);
+  std::printf("speedup (events/s, pooled vs legacy): %.2fx\n", speedup);
+
+  FILE* out = std::fopen("BENCH_simcore.json", "w");
+  if (out != nullptr) {
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"benchmark\": \"simcore\",\n"
+        "  \"workload\": {\"target_events\": %llu, \"warmup_events\": %llu,\n"
+        "               \"capture_bytes\": 32, \"seed\": %llu},\n"
+        "  \"legacy\": {\"executed_events\": %llu, \"elapsed_sec\": %.6f,\n"
+        "             \"events_per_sec\": %.0f, \"ns_per_event\": %.2f,\n"
+        "             \"allocs\": %llu, \"alloc_bytes\": %llu,\n"
+        "             \"allocs_per_event\": %.4f, \"cancelled\": %llu},\n"
+        "  \"pooled\": {\"executed_events\": %llu, \"elapsed_sec\": %.6f,\n"
+        "             \"events_per_sec\": %.0f, \"ns_per_event\": %.2f,\n"
+        "             \"allocs\": %llu, \"alloc_bytes\": %llu,\n"
+        "             \"allocs_per_event\": %.4f, \"cancelled\": %llu,\n"
+        "             \"steady_state_allocs\": %llu},\n"
+        "  \"speedup_events_per_sec\": %.3f\n"
+        "}\n",
+        static_cast<unsigned long long>(target), static_cast<unsigned long long>(warmup),
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(legacy_r.executed), legacy_r.elapsed_sec, legacy_eps,
+        legacy_r.executed ? 1e9 * legacy_r.elapsed_sec / static_cast<double>(legacy_r.executed)
+                          : 0.0,
+        static_cast<unsigned long long>(legacy_r.allocs),
+        static_cast<unsigned long long>(legacy_r.alloc_bytes),
+        legacy_r.executed
+            ? static_cast<double>(legacy_r.allocs) / static_cast<double>(legacy_r.executed)
+            : 0.0,
+        static_cast<unsigned long long>(legacy_r.cancelled),
+        static_cast<unsigned long long>(pooled_r.executed), pooled_r.elapsed_sec, pooled_eps,
+        pooled_r.executed ? 1e9 * pooled_r.elapsed_sec / static_cast<double>(pooled_r.executed)
+                          : 0.0,
+        static_cast<unsigned long long>(pooled_r.allocs),
+        static_cast<unsigned long long>(pooled_r.alloc_bytes),
+        pooled_r.executed
+            ? static_cast<double>(pooled_r.allocs) / static_cast<double>(pooled_r.executed)
+            : 0.0,
+        static_cast<unsigned long long>(pooled_r.cancelled),
+        static_cast<unsigned long long>(pooled_r.steady_allocs), speedup);
+    std::fclose(out);
+    std::printf("wrote BENCH_simcore.json\n");
+  }
+
+  // Acceptance gates: the pooled engine's steady-state Schedule->fire path
+  // must be allocation-free for inline-sized captures.
+  if (pooled_r.steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: pooled engine performed %llu heap allocations in the "
+                 "steady-state phase (expected 0)\n",
+                 static_cast<unsigned long long>(pooled_r.steady_allocs));
+    return 1;
+  }
+  std::printf("OK: pooled steady-state phase performed zero heap allocations\n");
+  return 0;
+}

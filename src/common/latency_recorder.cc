@@ -2,26 +2,53 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 namespace mitt {
 
+namespace {
+// First reservation; million-sample runs then double a handful of times
+// instead of reallocating dozens of times from a small initial capacity.
+constexpr size_t kInitialReserve = 4096;
+}  // namespace
+
 void LatencyRecorder::Record(DurationNs latency) {
+  if (samples_.empty()) {
+    samples_.reserve(kInitialReserve);
+    min_ = latency;
+    max_ = latency;
+  } else {
+    if (samples_.size() == samples_.capacity()) {
+      samples_.reserve(samples_.capacity() * 2);
+    }
+    min_ = std::min(min_, latency);
+    max_ = std::max(max_, latency);
+  }
   samples_.push_back(latency);
-  sorted_valid_ = false;
+  sum_ += static_cast<double>(latency);
+  scratch_state_ = ScratchState::kStale;
 }
 
 void LatencyRecorder::Clear() {
   samples_.clear();
-  sorted_.clear();
-  sorted_valid_ = false;
+  scratch_.clear();
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+  scratch_state_ = ScratchState::kStale;
+}
+
+void LatencyRecorder::EnsureCopied() const {
+  if (scratch_state_ == ScratchState::kStale) {
+    scratch_ = samples_;  // Reuses the scratch buffer's capacity.
+    scratch_state_ = ScratchState::kCopied;
+  }
 }
 
 void LatencyRecorder::EnsureSorted() const {
-  if (!sorted_valid_) {
-    sorted_ = samples_;
-    std::sort(sorted_.begin(), sorted_.end());
-    sorted_valid_ = true;
+  EnsureCopied();
+  if (scratch_state_ != ScratchState::kSorted) {
+    std::sort(scratch_.begin(), scratch_.end());
+    scratch_state_ = ScratchState::kSorted;
   }
 }
 
@@ -29,40 +56,31 @@ DurationNs LatencyRecorder::Percentile(double p) const {
   if (samples_.empty()) {
     return 0;
   }
-  EnsureSorted();
   if (p <= 0) {
-    return sorted_.front();
+    return min_;
   }
   if (p >= 100) {
-    return sorted_.back();
+    return max_;
   }
-  const auto rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));
-  const size_t idx = rank == 0 ? 0 : rank - 1;
-  return sorted_[std::min(idx, sorted_.size() - 1)];
-}
-
-DurationNs LatencyRecorder::Min() const {
-  if (samples_.empty()) {
-    return 0;
+  const auto rank =
+      static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  const size_t idx = std::min(rank == 0 ? 0 : rank - 1, samples_.size() - 1);
+  if (scratch_state_ == ScratchState::kSorted) {
+    return scratch_[idx];
   }
-  EnsureSorted();
-  return sorted_.front();
-}
-
-DurationNs LatencyRecorder::Max() const {
-  if (samples_.empty()) {
-    return 0;
-  }
-  EnsureSorted();
-  return sorted_.back();
+  // Single-percentile query: selection beats a full sort. The partitioned
+  // scratch stays valid for further selections until the next Record().
+  EnsureCopied();
+  auto nth = scratch_.begin() + static_cast<std::ptrdiff_t>(idx);
+  std::nth_element(scratch_.begin(), nth, scratch_.end());
+  return *nth;
 }
 
 double LatencyRecorder::MeanNs() const {
   if (samples_.empty()) {
     return 0.0;
   }
-  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
-  return sum / static_cast<double>(samples_.size());
+  return sum_ / static_cast<double>(samples_.size());
 }
 
 double LatencyRecorder::FractionBelow(DurationNs threshold) const {
@@ -70,8 +88,8 @@ double LatencyRecorder::FractionBelow(DurationNs threshold) const {
     return 0.0;
   }
   EnsureSorted();
-  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
-  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+  const auto it = std::upper_bound(scratch_.begin(), scratch_.end(), threshold);
+  return static_cast<double>(it - scratch_.begin()) / static_cast<double>(scratch_.size());
 }
 
 std::vector<LatencyRecorder::CdfPoint> LatencyRecorder::CdfSeries(size_t points) const {
@@ -83,8 +101,8 @@ std::vector<LatencyRecorder::CdfPoint> LatencyRecorder::CdfSeries(size_t points)
   out.reserve(points);
   for (size_t i = 1; i <= points; ++i) {
     const double frac = static_cast<double>(i) / static_cast<double>(points);
-    const auto idx = static_cast<size_t>(frac * static_cast<double>(sorted_.size() - 1));
-    out.push_back({sorted_[idx], frac});
+    const auto idx = static_cast<size_t>(frac * static_cast<double>(scratch_.size() - 1));
+    out.push_back({scratch_[idx], frac});
   }
   return out;
 }
@@ -101,3 +119,4 @@ double ReductionPercent(double mitt, double other) {
 }
 
 }  // namespace mitt
+

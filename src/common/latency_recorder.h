@@ -5,6 +5,11 @@
 // experiments here are at most a few million IOs), and computes percentiles,
 // means, CDF series, and the paper's "% latency reduction" metric
 // (footnote 2: (T_other - T_mitt) / T_other).
+//
+// Query cost model: Min/Max/MeanNs are O(1) (tracked incrementally in
+// Record). A single Percentile() query on fresh samples uses
+// std::nth_element — O(n), no full sort. Rank-ordered queries (CdfSeries,
+// FractionBelow) sort once and reuse the sorted copy until the next Record.
 
 #ifndef MITTOS_COMMON_LATENCY_RECORDER_H_
 #define MITTOS_COMMON_LATENCY_RECORDER_H_
@@ -31,8 +36,8 @@ class LatencyRecorder {
   // empty. Uses nearest-rank on the sorted samples.
   DurationNs Percentile(double p) const;
 
-  DurationNs Min() const;
-  DurationNs Max() const;
+  DurationNs Min() const { return samples_.empty() ? 0 : min_; }
+  DurationNs Max() const { return samples_.empty() ? 0 : max_; }
   double MeanNs() const;
 
   // Fraction of samples <= threshold (the CDF evaluated at `threshold`).
@@ -49,11 +54,19 @@ class LatencyRecorder {
   const std::vector<DurationNs>& samples() const { return samples_; }
 
  private:
+  // Lifecycle of the scratch buffer: kStale (out of date with samples_) ->
+  // kCopied (fresh copy, possibly nth_element-partitioned) -> kSorted.
+  enum class ScratchState { kStale, kCopied, kSorted };
+
+  void EnsureCopied() const;
   void EnsureSorted() const;
 
   std::vector<DurationNs> samples_;
-  mutable std::vector<DurationNs> sorted_;
-  mutable bool sorted_valid_ = false;
+  DurationNs min_ = 0;
+  DurationNs max_ = 0;
+  double sum_ = 0.0;
+  mutable std::vector<DurationNs> scratch_;
+  mutable ScratchState scratch_state_ = ScratchState::kStale;
 };
 
 // The paper's latency-reduction metric, in percent:

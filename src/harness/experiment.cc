@@ -1,7 +1,12 @@
 #include "src/harness/experiment.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "src/client/adaptive.h"
 #include "src/client/clone.h"
@@ -22,6 +27,82 @@ DurationNs Resolve(DurationNs value, DurationNs fallback) {
 }
 
 }  // namespace
+
+int DefaultTrialWorkers() {
+  if (const char* env = std::getenv("MITT_TRIAL_WORKERS")) {
+    const int v = std::atoi(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void internal::RunTrialsIndexed(size_t n, int workers,
+                                const std::function<void(size_t)>& body) {
+  if (workers <= 0) {
+    workers = DefaultTrialWorkers();
+  }
+  const size_t pool = std::min(static_cast<size_t>(workers), n);
+  if (pool <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  auto drain = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error == nullptr) {
+          first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(pool - 1);
+  for (size_t t = 1; t < pool; ++t) {
+    threads.emplace_back(drain);
+  }
+  drain();  // The calling thread is a worker too.
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+std::vector<RunResult> RunTrialsParallel(const std::vector<Trial>& trials, int workers) {
+  return RunTrials<RunResult>(
+      trials.size(),
+      [&trials](size_t i) {
+        const Trial& t = trials[i];
+        Experiment experiment(t.options);
+        RunResult result = experiment.Run(t.kind);
+        if (!t.rename.empty()) {
+          result.name = t.rename;
+        }
+        return result;
+      },
+      workers);
+}
 
 std::string_view StrategyKindName(StrategyKind kind) {
   switch (kind) {
@@ -334,6 +415,10 @@ RunResult Experiment::Run(StrategyKind kind) {
   }
 
   sim.RunUntilPredicate([&] { return completed >= target; });
+
+  // The driver lambda captures its own shared_ptr (so in-flight completions
+  // can re-issue); clear the function to break that cycle or it leaks.
+  *issue = nullptr;
 
   result.requests = completed;
   for (const auto& injector : io_noise) {

@@ -15,6 +15,7 @@
 #ifndef MITTOS_HARNESS_EXPERIMENT_H_
 #define MITTOS_HARNESS_EXPERIMENT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -147,6 +148,49 @@ class Experiment {
   ExperimentOptions options_;
   DurationNs derived_p95_ = 0;
 };
+
+// --- Deterministic parallel trial runner ---
+//
+// Multi-trial benches (Fig. 4/6/9, all-in-one) run many independent
+// simulations: each trial owns its own Simulator and RNG seeds, so trials
+// are embarrassingly parallel. RunTrials fans trial indices out across a
+// worker pool (atomic work queue over std::thread) and merges results *in
+// trial order*, so the merged output is bit-identical to a serial run —
+// worker count only changes wall-clock time, never results.
+//
+// Determinism contract: the trial function must derive all randomness from
+// its trial index / captured options (no shared mutable state, no wall
+// clock). Everything under src/ follows this already — every component owns
+// an Rng seeded from the experiment seed.
+
+// Worker count used when `workers <= 0`: $MITT_TRIAL_WORKERS if set,
+// otherwise std::thread::hardware_concurrency().
+int DefaultTrialWorkers();
+
+namespace internal {
+// Runs body(0), ..., body(n-1) across the pool; with an effective worker
+// count of 1 runs inline, in index order. Rethrows the first trial
+// exception after all workers join.
+void RunTrialsIndexed(size_t n, int workers, const std::function<void(size_t)>& body);
+}  // namespace internal
+
+template <typename T>
+std::vector<T> RunTrials(size_t num_trials, const std::function<T(size_t)>& trial,
+                         int workers = 0) {
+  std::vector<T> results(num_trials);
+  internal::RunTrialsIndexed(num_trials, workers,
+                             [&](size_t i) { results[i] = trial(i); });
+  return results;
+}
+
+// The common bench pattern: one fresh Experiment world per (options,
+// strategy) pair, all fanned out together.
+struct Trial {
+  ExperimentOptions options;
+  StrategyKind kind = StrategyKind::kBase;
+  std::string rename;  // Optional RunResult name override (e.g. "NoNoise").
+};
+std::vector<RunResult> RunTrialsParallel(const std::vector<Trial>& trials, int workers = 0);
 
 // Prints a paper-style CDF comparison (one column per result, rows at fixed
 // percentiles) plus the %-reduction table of Fig. 5b/6d.

@@ -111,12 +111,16 @@ void LsmTree::MaybeStartCompaction() {
     }
   }
 
+  // The pending IO callback holds the strong ref; the lambda only keeps a
+  // weak self-reference (a strong one would be a cycle and leak).
   auto step = std::make_shared<std::function<void(size_t)>>();
-  *step = [this, ios, new_l1, step](size_t idx) {
+  *step = [this, ios, new_l1,
+           wstep = std::weak_ptr<std::function<void(size_t)>>(step)](size_t idx) {
     if (idx >= ios->size()) {
       FinishCompaction(new_l1);
       return;
     }
+    const auto step = wstep.lock();
     const CompactionIo& io = (*ios)[idx];
     if (io.write) {
       os::Os::WriteArgs w;

@@ -1,71 +1,86 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace mitt::sim {
 
-EventId Simulator::Schedule(DurationNs delay, std::function<void()> fn) {
-  if (delay < 0) {
-    delay = 0;
+void Simulator::HeapPopTop() {
+  const Handle carried = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) {
+    return;
   }
-  return ScheduleInternal(now_ + delay, /*daemon=*/false, std::move(fn));
+  size_t i = 0;
+  for (;;) {
+    const size_t first_child = 4 * i + 1;
+    if (first_child >= n) {
+      break;
+    }
+    const size_t end_child = std::min(first_child + 4, n);
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < end_child; ++c) {
+      if (HandleLess(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!HandleLess(heap_[best], carried)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = carried;
 }
 
-EventId Simulator::ScheduleAt(TimeNs when, std::function<void()> fn) {
-  return ScheduleInternal(when, /*daemon=*/false, std::move(fn));
-}
-
-EventId Simulator::ScheduleDaemon(DurationNs delay, std::function<void()> fn) {
-  if (delay < 0) {
-    delay = 0;
-  }
-  return ScheduleInternal(now_ + delay, /*daemon=*/true, std::move(fn));
-}
-
-EventId Simulator::ScheduleInternal(TimeNs when, bool daemon, std::function<void()> fn) {
-  if (when < now_) {
-    when = now_;
-  }
-  const uint64_t seq = next_seq_++;
-  const EventId id = seq;  // seq doubles as a unique id (never reused).
-  heap_.push(Event{when, seq, id, daemon, std::move(fn)});
-  if (!daemon) {
-    ++non_daemon_pending_;
-  }
-  return id;
+void Simulator::ReleaseSlot(uint32_t index) {
+  Slot& slot = SlotAt(index);
+  slot.fn = nullptr;  // Destroy any remaining capture state.
+  ++slot.generation;  // Invalidates all ids handed out for the old occupant.
+  slot.occupied = false;
+  slot.cancelled = false;
+  slot.next_free = free_head_;
+  free_head_ = index;
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == kInvalidEventId) {
-    return false;
+  const uint32_t index = SlotOf(id);
+  if (index >= num_slots_) {
+    return false;  // Never issued (covers kInvalidEventId).
   }
-  // Ids are monotonically increasing; an id >= next_seq_ was never issued.
-  if (id >= next_seq_) {
-    return false;
+  Slot& slot = SlotAt(index);
+  if (!slot.occupied || slot.generation != GenerationOf(id) || slot.cancelled) {
+    return false;  // Already fired, already cancelled, or slot recycled.
   }
-  const bool inserted = cancelled_.insert(id).second;
-  if (inserted) {
-    ++cancelled_pending_;
-  }
-  return inserted;
+  slot.cancelled = true;
+  --live_events_;
+  return true;
 }
 
 bool Simulator::Step() {
-  while (!heap_.empty()) {
-    Event ev = heap_.top();
-    heap_.pop();
-    if (!ev.daemon) {
+  while (!HeapEmpty()) {
+    const Handle top = HeapTop();
+    HeapPopTop();
+    Slot& slot = SlotAt(top.slot);
+    if (!slot.daemon) {
       --non_daemon_pending_;
     }
-    const auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_pending_;
+    if (slot.cancelled) {
+      ReleaseSlot(top.slot);
       continue;
     }
-    now_ = ev.when;
+    now_ = top.when;
     ++executed_;
-    ev.fn();
+    --live_events_;
+    // Invalidate the event's id *before* invoking so a Cancel() of this
+    // event's own id returns false, then run the closure in place: the slot
+    // stays off the free list while the closure executes (recursive
+    // Schedule() calls cannot reuse it) and arena blocks keep its address
+    // stable even if those calls grow the pool.
+    ++slot.generation;
+    slot.fn();
+    ReleaseSlot(top.slot);
     return true;
   }
   return false;
@@ -77,19 +92,19 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(TimeNs deadline) {
-  while (!heap_.empty()) {
+  while (!HeapEmpty()) {
+    const Handle top = HeapTop();
     // Skip cancelled events without advancing time.
-    if (cancelled_.count(heap_.top().id) > 0) {
-      const Event& top = heap_.top();
-      if (!top.daemon) {
+    const Slot& slot = SlotAt(top.slot);
+    if (slot.cancelled) {
+      if (!slot.daemon) {
         --non_daemon_pending_;
       }
-      cancelled_.erase(top.id);
-      --cancelled_pending_;
-      heap_.pop();
+      ReleaseSlot(top.slot);
+      HeapPopTop();
       continue;
     }
-    if (heap_.top().when > deadline) {
+    if (top.when > deadline) {
       break;
     }
     Step();

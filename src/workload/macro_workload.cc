@@ -115,8 +115,11 @@ void MacroWorkload::HadoopJobLoop(TimeNs until) {
   const int64_t start =
       rng_.UniformInt(0, std::max<int64_t>(1, file_size_ - chunks * chunk_size - 1));
 
+  // The chain's pending IO callback holds the strong ref; the lambda only
+  // keeps a weak self-reference (a strong one would be a cycle and leak).
   auto step = std::make_shared<std::function<void(int)>>();
-  *step = [this, until, chunks, chunk_size, start, step](int i) {
+  *step = [this, until, chunks, chunk_size, start,
+           wstep = std::weak_ptr<std::function<void(int)>>(step)](int i) {
     if (i >= chunks || sim_->Now() >= until) {
       // Job done; next job after a heavy-tailed gap.
       const auto gap = static_cast<DurationNs>(
@@ -134,7 +137,7 @@ void MacroWorkload::HadoopJobLoop(TimeNs until) {
     args.io_class = options_.io_class;
     args.priority = options_.priority;
     args.bypass_cache = true;
-    os_->Read(args, [step, i](Status) { (*step)(i + 1); });
+    os_->Read(args, [step = wstep.lock(), i](Status) { (*step)(i + 1); });
   };
   (*step)(0);
 }

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <memory>
 #include <set>
+#include <string>
+#include <utility>
 
+#include "src/common/inline_function.h"
 #include "src/common/latency_recorder.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -168,6 +173,100 @@ TEST(LatencyRecorderTest, CdfSeriesMonotone) {
     EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
   }
   EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(LatencyRecorderTest, PercentileInterleavedWithRecord) {
+  // Exercise the scratch-buffer state machine: query, record more, query
+  // again — the second query must see the new samples.
+  LatencyRecorder rec;
+  for (int i = 1; i <= 50; ++i) {
+    rec.Record(Millis(i));
+  }
+  EXPECT_EQ(rec.Percentile(100), Millis(50));
+  EXPECT_EQ(rec.Percentile(50), Millis(25));  // Second query on same snapshot.
+  for (int i = 51; i <= 100; ++i) {
+    rec.Record(Millis(i));
+  }
+  EXPECT_EQ(rec.Percentile(100), Millis(100));
+  EXPECT_EQ(rec.Percentile(50), Millis(50));
+  // And mixing in a full-sort consumer keeps selection queries correct.
+  EXPECT_DOUBLE_EQ(rec.FractionBelow(Millis(10)), 0.1);
+  EXPECT_EQ(rec.Percentile(95), Millis(95));
+}
+
+TEST(InlineFunctionTest, SmallCaptureStoredInline) {
+  int a = 3, b = 4;
+  InlineFunction<int()> fn = [a, b] { return a * b; };
+  static_assert(InlineFunction<int()>::kFitsInline<decltype([a, b] { return a * b; })>);
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(fn(), 12);
+}
+
+TEST(InlineFunctionTest, MoveEmptiesSource) {
+  InlineFunction<int()> fn = [] { return 7; };
+  InlineFunction<int()> moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(moved));
+  EXPECT_EQ(moved(), 7);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCapture) {
+  auto p = std::make_unique<int>(41);
+  InlineFunction<int()> fn = [p = std::move(p)] { return *p + 1; };
+  EXPECT_EQ(fn(), 42);
+  // std::function could not hold this lambda at all (target must be copyable).
+  InlineFunction<int()> moved = std::move(fn);
+  EXPECT_EQ(moved(), 42);
+}
+
+TEST(InlineFunctionTest, OversizedCaptureFallsBackToHeap) {
+  std::array<int64_t, 16> big{};  // 128 bytes: over the 48-byte inline buffer.
+  big[0] = 5;
+  big[15] = 6;
+  auto lambda = [big] { return big[0] + big[15]; };
+  static_assert(!InlineFunction<int64_t()>::kFitsInline<decltype(lambda)>);
+  InlineFunction<int64_t()> fn = lambda;
+  EXPECT_EQ(fn(), 11);
+  InlineFunction<int64_t()> moved = std::move(fn);  // Steals the heap pointer.
+  EXPECT_FALSE(static_cast<bool>(fn));              // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(moved(), 11);
+}
+
+TEST(InlineFunctionTest, DestroysCaptureOnResetAndReassign) {
+  int destroyed = 0;
+  struct Tracker {
+    int* counter;
+    explicit Tracker(int* c) : counter(c) {}
+    Tracker(Tracker&& o) noexcept : counter(o.counter) { o.counter = nullptr; }
+    ~Tracker() {
+      if (counter != nullptr) {
+        ++*counter;
+      }
+    }
+  };
+  {
+    InlineFunction<void()> fn = [t = Tracker(&destroyed)] {};
+    EXPECT_EQ(destroyed, 0);
+    fn = nullptr;  // Reset destroys the capture.
+    EXPECT_EQ(destroyed, 1);
+    EXPECT_FALSE(static_cast<bool>(fn));
+  }
+  {
+    InlineFunction<void()> fn = [t = Tracker(&destroyed)] {};
+    fn = [] {};  // Reassignment destroys the old target first.
+    EXPECT_EQ(destroyed, 2);
+  }
+  {
+    InlineFunction<void()> fn = [t = Tracker(&destroyed)] {};
+  }  // Destructor path.
+  EXPECT_EQ(destroyed, 3);
+}
+
+TEST(InlineFunctionTest, ForwardsArgumentsAndReturn) {
+  InlineFunction<int(int, int)> fn = [](int x, int y) { return x - y; };
+  EXPECT_EQ(fn(10, 4), 6);
+  InlineFunction<std::string(std::string)> echo = [](std::string s) { return s + "!"; };
+  EXPECT_EQ(echo("hi"), "hi!");
 }
 
 TEST(ReductionTest, PaperFormula) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <stdexcept>
+#include <vector>
 
 #include "src/harness/experiment.h"
 #include "src/study/nosql_study.h"
@@ -102,6 +104,62 @@ TEST(ExperimentTest, Ec2NoiseProducesTailsNotMedians) {
   EXPECT_LT(base.get_latencies.Percentile(50), Millis(15));
   EXPECT_GT(base.get_latencies.Percentile(99),
             2 * base.get_latencies.Percentile(50));
+}
+
+// The parallel trial runner's determinism contract: merged results must be
+// bit-identical regardless of worker count (ISSUE acceptance criterion).
+TEST(RunTrialsTest, ParallelMergeBitIdenticalToSerial) {
+  ExperimentOptions opt = MicroOptions();
+  opt.measure_requests = 300;
+  std::vector<Trial> trials;
+  trials.push_back({opt, StrategyKind::kBase, ""});
+  trials.push_back({opt, StrategyKind::kMittos, ""});
+  opt.seed = 777;  // A second world with different randomness.
+  trials.push_back({opt, StrategyKind::kHedged, ""});
+  trials.push_back({opt, StrategyKind::kMittos, "Renamed"});
+
+  const auto serial = RunTrialsParallel(trials, /*workers=*/1);
+  const auto parallel = RunTrialsParallel(trials, /*workers=*/4);
+
+  ASSERT_EQ(serial.size(), trials.size());
+  ASSERT_EQ(parallel.size(), trials.size());
+  EXPECT_EQ(serial[3].name, "Renamed");
+  for (size_t i = 0; i < trials.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(serial[i].name, parallel[i].name);
+    // Exact sample vectors, not just summary stats: bit-identical means the
+    // full latency trace matches element by element.
+    EXPECT_EQ(serial[i].get_latencies.samples(), parallel[i].get_latencies.samples());
+    EXPECT_EQ(serial[i].user_latencies.samples(), parallel[i].user_latencies.samples());
+    EXPECT_EQ(serial[i].requests, parallel[i].requests);
+    EXPECT_EQ(serial[i].ebusy_failovers, parallel[i].ebusy_failovers);
+    EXPECT_EQ(serial[i].hedges_sent, parallel[i].hedges_sent);
+    EXPECT_EQ(serial[i].timeouts_fired, parallel[i].timeouts_fired);
+    EXPECT_EQ(serial[i].noise_ios, parallel[i].noise_ios);
+    EXPECT_EQ(serial[i].sim_duration, parallel[i].sim_duration);
+  }
+}
+
+TEST(RunTrialsTest, GenericRunnerPreservesTrialOrder) {
+  const auto results = RunTrials<size_t>(
+      64, [](size_t i) { return i * i; }, /*workers=*/4);
+  ASSERT_EQ(results.size(), 64u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(RunTrialsTest, PropagatesTrialExceptions) {
+  EXPECT_THROW(RunTrials<int>(
+                   8,
+                   [](size_t i) {
+                     if (i == 5) {
+                       throw std::runtime_error("trial 5 failed");
+                     }
+                     return static_cast<int>(i);
+                   },
+                   /*workers=*/3),
+               std::runtime_error);
 }
 
 TEST(NosqlStudyTest, ReproducesTableOneFindings) {

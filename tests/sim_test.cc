@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/sim/simulator.h"
 
 namespace mitt::sim {
@@ -121,6 +123,242 @@ TEST(SimulatorTest, CancelledEventDoesNotAdvanceClock) {
   sim.Schedule(Millis(1), [] {});
   sim.Run();
   EXPECT_EQ(sim.Now(), Millis(1));
+}
+
+// --- Determinism regression ---
+//
+// A seeded multi-actor scenario (nested scheduling, deterministic cancels,
+// daemon timers) whose execution trace — event count, fire times, per-event
+// order — is hashed into a golden value. The golden hash was captured on the
+// original std::priority_queue<std::function> engine, so the pooled
+// inline-callback queue is pinned to byte-identical (time, seq) semantics.
+
+struct TraceEntry {
+  TimeNs when;
+  int marker;
+  bool operator==(const TraceEntry&) const = default;
+};
+
+uint64_t HashTrace(const std::vector<TraceEntry>& trace) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a.
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const TraceEntry& e : trace) {
+    mix(static_cast<uint64_t>(e.when));
+    mix(static_cast<uint64_t>(e.marker));
+  }
+  return h;
+}
+
+std::vector<TraceEntry> RunDeterminismScenario() {
+  Simulator sim;
+  std::vector<TraceEntry> trace;
+  constexpr int kActors = 4;
+  constexpr int kStepsPerActor = 200;
+
+  struct Actor {
+    Rng rng{0};
+    int steps = 0;
+    std::vector<EventId> throwaway;
+  };
+  auto actors = std::make_shared<std::vector<Actor>>(kActors);
+  for (int a = 0; a < kActors; ++a) {
+    (*actors)[static_cast<size_t>(a)].rng = Rng(0x5EED0000ULL + static_cast<uint64_t>(a));
+  }
+
+  auto tick = std::make_shared<std::function<void(int)>>();
+  *tick = [&sim, &trace, actors, tick](int a) {
+    Actor& actor = (*actors)[static_cast<size_t>(a)];
+    trace.push_back({sim.Now(), a * 1000 + actor.steps});
+    if (++actor.steps >= kStepsPerActor) {
+      return;
+    }
+    // Nested rescheduling with a seeded delay.
+    sim.Schedule(actor.rng.UniformInt(1, Millis(2)), [tick, a] { (*tick)(a); });
+    // Churn: schedule a far-future decoy, cancel every other one while still
+    // pending (legit-true cancels only — identical on old and new engines).
+    const EventId decoy = sim.Schedule(
+        Millis(450) + actor.rng.UniformInt(0, Millis(5)),
+        [&trace, &sim, a] { trace.push_back({sim.Now(), -(a + 1)}); });
+    actor.throwaway.push_back(decoy);
+    if (actor.steps % 2 == 0) {
+      sim.Cancel(actor.throwaway[actor.throwaway.size() / 2]);
+    }
+  };
+
+  // A daemon heartbeat interleaves with actor events but must not keep the
+  // run alive once the actors finish.
+  auto beat = std::make_shared<std::function<void()>>();
+  auto beats = std::make_shared<int>(0);
+  *beat = [&sim, &trace, beat, beats] {
+    trace.push_back({sim.Now(), 9000 + (*beats)++});
+    sim.ScheduleDaemon(Micros(700), [beat] { (*beat)(); });
+  };
+  sim.ScheduleDaemon(Micros(700), [beat] { (*beat)(); });
+
+  for (int a = 0; a < kActors; ++a) {
+    sim.Schedule(Micros(100) * (a + 1), [tick, a] { (*tick)(a); });
+  }
+  sim.Run();
+  // Break the drivers' self-referential shared_ptr captures (leak otherwise).
+  *tick = nullptr;
+  *beat = nullptr;
+  return trace;
+}
+
+TEST(SimulatorDeterminismTest, SeededMultiActorTraceIsStable) {
+  const std::vector<TraceEntry> first = RunDeterminismScenario();
+  const std::vector<TraceEntry> second = RunDeterminismScenario();
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(first, second);
+
+  // Times never go backwards.
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_GE(first[i].when, first[i - 1].when);
+  }
+
+  // Golden values captured on the pre-pool engine; any change to (time, seq)
+  // ordering or cancellation semantics shows up here.
+  EXPECT_EQ(first.size(), 2155u);
+  EXPECT_EQ(HashTrace(first), 15155849216143701217ULL);
+}
+
+// --- Stale-id / cancel-after-fire regression ---
+//
+// The pre-pool engine recorded any plausible-looking id in its lazy-cancel
+// set; cancelling an already-fired event returned true, permanently skewed
+// pending_events() (size_t underflow), and leaked the id. The pooled engine
+// detects staleness via slot generations.
+
+TEST(SimulatorCancelTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.Schedule(Millis(1), [&] { ran = true; });
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // A later event still schedules and fires normally.
+  int count = 0;
+  sim.Schedule(Millis(1), [&] { ++count; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorCancelTest, CancelTwiceThenFireWindowStaysConsistent) {
+  Simulator sim;
+  const EventId a = sim.Schedule(Millis(1), [] {});
+  EXPECT_TRUE(sim.Cancel(a));
+  EXPECT_FALSE(sim.Cancel(a));
+  sim.Schedule(Millis(2), [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(a));  // Still false after its slot was recycled.
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(SimulatorCancelTest, CancelOwnEventFromItsCallbackReturnsFalse) {
+  Simulator sim;
+  EventId self = kInvalidEventId;
+  bool cancel_result = true;
+  self = sim.Schedule(Millis(1), [&] { cancel_result = sim.Cancel(self); });
+  sim.Run();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorCancelTest, StaleIdOfRecycledSlotDoesNotCancelNewOccupant) {
+  Simulator sim;
+  const EventId old_id = sim.Schedule(Millis(1), [] {});
+  sim.Run();  // Fires; the slot returns to the free list.
+  bool ran = false;
+  const EventId new_id = sim.Schedule(Millis(1), [&] { ran = true; });
+  EXPECT_NE(old_id, new_id);  // Same slot, different generation.
+  EXPECT_FALSE(sim.Cancel(old_id));
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(sim.Cancel(new_id));  // new_id fired too.
+}
+
+// Interleaved Schedule/Cancel/Run with daemon events and cancel-after-fire:
+// pending_events() must track the live count exactly (no underflow) and every
+// Cancel() verdict must match whether the event was genuinely pending.
+TEST(SimulatorCancelTest, InterleavedCancellationStress) {
+  Simulator sim;
+  Rng rng(0xCA9CE1);
+  uint64_t fired = 0;
+  std::vector<EventId> inflight;
+  std::vector<EventId> spent;  // Fired or cancelled: Cancel() must say false.
+  size_t expected_live = 0;
+
+  // A daemon ticker churning in the background. Exactly one daemon event is
+  // pending at any time (each fire schedules the next), so it contributes a
+  // constant 1 to pending_events().
+  auto daemon = std::make_shared<std::function<void()>>();
+  *daemon = [&sim, daemon] { sim.ScheduleDaemon(Micros(50), [daemon] { (*daemon)(); }); };
+  sim.ScheduleDaemon(Micros(50), [daemon] { (*daemon)(); });
+  ++expected_live;
+
+  for (int round = 0; round < 200; ++round) {
+    // Schedule a burst.
+    const int burst = static_cast<int>(rng.UniformInt(1, 8));
+    for (int i = 0; i < burst; ++i) {
+      inflight.push_back(
+          sim.Schedule(rng.UniformInt(Micros(10), Millis(3)), [&fired] { ++fired; }));
+      ++expected_live;
+    }
+    EXPECT_EQ(sim.pending_events(), expected_live);
+    // Cancel a random subset of whatever we still think is pending.
+    for (size_t i = 0; i < inflight.size();) {
+      if (rng.Bernoulli(0.3)) {
+        EXPECT_TRUE(sim.Cancel(inflight[i]));
+        --expected_live;
+        spent.push_back(inflight[i]);
+        inflight[i] = inflight.back();
+        inflight.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    // Stale cancels must all fail and must not disturb the live count.
+    for (const EventId id : spent) {
+      EXPECT_FALSE(sim.Cancel(id));
+    }
+    EXPECT_EQ(sim.pending_events(), expected_live);
+    // Periodically drain a slice of time; everything due fires.
+    if (round % 5 == 4) {
+      const uint64_t before = fired;
+      sim.RunUntil(sim.Now() + Millis(1));
+      expected_live -= static_cast<size_t>(fired - before);
+      // Drop fired events from the inflight set (their cancels must fail).
+      for (size_t i = 0; i < inflight.size();) {
+        if (!sim.Cancel(inflight[i])) {
+          spent.push_back(inflight[i]);
+          inflight[i] = inflight.back();
+          inflight.pop_back();
+        } else {
+          // It was still pending; cancelling it succeeded, so account for it.
+          --expected_live;
+          spent.push_back(inflight[i]);
+          inflight[i] = inflight.back();
+          inflight.pop_back();
+        }
+      }
+      EXPECT_EQ(sim.pending_events(), expected_live);
+    }
+  }
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 1u);  // Only the daemon ticker remains.
+  // pending_events() never underflowed into size_t territory.
+  EXPECT_LT(sim.executed_events(), 1u << 20);
+  // Break the ticker's self-referential shared_ptr capture (leak otherwise).
+  *daemon = nullptr;
 }
 
 }  // namespace
