@@ -5,17 +5,28 @@
 //
 //     read(..., deadline)  ->  data, or an *instant* EBUSY.
 //
+// Along the way the obs tracer records every layer the reads cross and the
+// run ends by exporting a Chrome trace (quickstart_trace.json — load it in
+// chrome://tracing or ui.perfetto.dev).
+//
 // Run:  ./build/examples/quickstart
 
 #include <cstdio>
 
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/os/os.h"
 #include "src/sim/simulator.h"
 
 int main() {
   using namespace mitt;
 
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
   sim::Simulator sim;
+  sim.set_tracer(&tracer);
+  sim.set_metrics(&metrics);
 
   // A machine with a 1TB disk under the CFQ scheduler, MittOS enabled.
   os::OsOptions options;
@@ -33,6 +44,7 @@ int main() {
   read.size = 4096;
   read.deadline = Millis(20);
   read.bypass_cache = true;
+  read.trace = {tracer.NewRequestId(), /*node=*/-1};
 
   machine.Read(read, [&](Status status) {
     std::printf("[%7.3f ms] idle disk:  read -> %s\n", ToMillis(sim.Now()),
@@ -55,6 +67,7 @@ int main() {
   // predictor sees the queue cannot drain within 20ms, so the application
   // can fail over to a replica instead of waiting.
   const TimeNs before = sim.Now();
+  read.trace = {tracer.NewRequestId(), /*node=*/-1};
   machine.Read(read, [&](Status status) {
     std::printf("[%7.3f ms] busy disk:  read(deadline=20ms) -> %s after %.1f us\n",
                 ToMillis(sim.Now()), std::string(status.name()).c_str(),
@@ -65,6 +78,7 @@ int main() {
   // behaviour is always available).
   os::Os::ReadArgs patient = read;
   patient.deadline = sched::kNoDeadline;
+  patient.trace = {tracer.NewRequestId(), /*node=*/-1};
   machine.Read(patient, [&](Status status) {
     std::printf("[%7.3f ms] busy disk:  read(no SLO)        -> %s after %.1f ms\n",
                 ToMillis(sim.Now()), std::string(status.name()).c_str(),
@@ -74,5 +88,28 @@ int main() {
   sim.Run();
   std::printf("\nThat's MittOS: \"busy is error\" — the OS rejects IOs it cannot serve\n"
               "in time, so millisecond-scale applications never wait to find out.\n");
+
+  // Export what the obs layer saw. With MITT_OBS_DISABLED the recording
+  // hooks are compiled out, so there is nothing to export — skip gracefully.
+  if (sim.tracer() == nullptr) {
+    std::printf("\n(observability compiled out: no trace emitted)\n");
+    return 0;
+  }
+  const std::string json = obs::ChromeTraceJson(tracer.OrderedSpans(), "quickstart");
+  if (!obs::ValidateJsonSyntax(json)) {
+    std::fprintf(stderr, "exported trace is not valid JSON\n");
+    return 1;
+  }
+  const char* path = "quickstart_trace.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nWrote %zu spans (%lu EBUSY) to %s — open it in chrome://tracing.\n",
+                tracer.size(), static_cast<unsigned long>(metrics.CounterTotal("ebusy_total")),
+                path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path);
+    return 1;
+  }
   return 0;
 }

@@ -49,12 +49,15 @@ void SnitchStrategy::Get(uint64_t key, GetDoneFn done) {
   }
   const TimeNs start = sim_->Now();
   auto shared_done = std::make_shared<GetDoneFn>(std::move(done));
-  SendGet(best, key, sched::kNoDeadline, [this, best, start, shared_done](Status status) {
-    const double sample = static_cast<double>(sim_->Now() - start);
-    double& score = ewma_ns_[static_cast<size_t>(best)];
-    score = (1.0 - options_.ewma_alpha) * score + options_.ewma_alpha * sample;
-    (*shared_done)({status, 1});
-  });
+  SendGet(
+      best, key, sched::kNoDeadline,
+      [this, best, start, shared_done](Status status) {
+        const double sample = static_cast<double>(sim_->Now() - start);
+        double& score = ewma_ns_[static_cast<size_t>(best)];
+        score = (1.0 - options_.ewma_alpha) * score + options_.ewma_alpha * sample;
+        (*shared_done)({status, 1});
+      },
+      BeginTrace());
 }
 
 C3Strategy::C3Strategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_t seed,
@@ -93,14 +96,17 @@ void C3Strategy::Get(uint64_t key, GetDoneFn done) {
   const TimeNs start = sim_->Now();
   ++outstanding_[static_cast<size_t>(best)];
   auto shared_done = std::make_shared<GetDoneFn>(std::move(done));
-  SendGet(best, key, sched::kNoDeadline, [this, best, start, shared_done](Status status) {
-    --outstanding_[static_cast<size_t>(best)];
-    const double sample = static_cast<double>(sim_->Now() - start);
-    double& score = ewma_ns_[static_cast<size_t>(best)];
-    score = (1.0 - options_.ewma_alpha) * score + options_.ewma_alpha * sample;
-    last_update_[static_cast<size_t>(best)] = sim_->Now();
-    (*shared_done)({status, 1});
-  });
+  SendGet(
+      best, key, sched::kNoDeadline,
+      [this, best, start, shared_done](Status status) {
+        --outstanding_[static_cast<size_t>(best)];
+        const double sample = static_cast<double>(sim_->Now() - start);
+        double& score = ewma_ns_[static_cast<size_t>(best)];
+        score = (1.0 - options_.ewma_alpha) * score + options_.ewma_alpha * sample;
+        last_update_[static_cast<size_t>(best)] = sim_->Now();
+        (*shared_done)({status, 1});
+      },
+      BeginTrace());
 }
 
 }  // namespace mitt::client

@@ -24,8 +24,9 @@ void CloneStrategy::Get(uint64_t key, GetDoneFn done) {
     *settled = true;
     (*shared_done)({status, 2});
   };
-  SendGet(replicas[first], key, sched::kNoDeadline, on_reply);
-  SendGet(replicas[second], key, sched::kNoDeadline, on_reply);
+  const obs::TraceContext trace = BeginTrace();
+  SendGet(replicas[first], key, sched::kNoDeadline, on_reply, trace);
+  SendGet(replicas[second], key, sched::kNoDeadline, on_reply, trace);
 }
 
 }  // namespace mitt::client

@@ -22,18 +22,20 @@ void HedgedStrategy::Get(uint64_t key, GetDoneFn done) {
     (*shared_done)({status, *tries});
   };
 
-  SendGet(replicas[0], key, sched::kNoDeadline, on_reply);
+  const obs::TraceContext trace = BeginTrace();
+  SendGet(replicas[0], key, sched::kNoDeadline, on_reply, trace);
 
   // Hedge timer: after the p95 delay, duplicate to the next replica. The
   // first request stays outstanding (no cancellation).
   sim_->Schedule(options_.hedge_delay,
-                 [this, key, second = replicas[1], settled, tries, on_reply] {
+                 [this, key, second = replicas[1], settled, tries, on_reply, trace] {
                    if (*settled) {
                      return;
                    }
                    ++hedges_sent_;
                    *tries = 2;
-                   SendGet(second, key, sched::kNoDeadline, on_reply);
+                   RecordFailover(trace);
+                   SendGet(second, key, sched::kNoDeadline, on_reply, trace);
                  });
 }
 

@@ -9,24 +9,29 @@ MittosStrategy::MittosStrategy(sim::Simulator* sim, cluster::Cluster* cluster, u
     : GetStrategy(sim, cluster, seed), options_(options) {}
 
 void MittosStrategy::Get(uint64_t key, GetDoneFn done) {
-  Attempt(key, 0, std::make_shared<GetDoneFn>(std::move(done)));
+  Attempt(key, 0, std::make_shared<GetDoneFn>(std::move(done)), BeginTrace());
 }
 
-void MittosStrategy::Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done) {
+void MittosStrategy::Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done,
+                             obs::TraceContext trace) {
   const auto replicas = Replicas(key);
   const bool last_try = static_cast<size_t>(try_index) + 1 >= replicas.size();
   // The last retry disables the deadline; otherwise users could get IO errors
   // even though data is available (§5, modification (3)).
   const DurationNs deadline = last_try ? sched::kNoDeadline : options_.deadline;
   const int node = replicas[static_cast<size_t>(try_index)];
-  SendGet(node, key, deadline, [this, key, try_index, done](Status status) {
-    if (status.busy()) {
-      ++ebusy_failovers_;
-      Attempt(key, try_index + 1, done);  // Instant, exceptionless failover.
-      return;
-    }
-    (*done)({status, try_index + 1});
-  });
+  SendGet(
+      node, key, deadline,
+      [this, key, try_index, done, trace](Status status) {
+        if (status.busy()) {
+          ++ebusy_failovers_;
+          RecordFailover(trace);
+          Attempt(key, try_index + 1, done, trace);  // Instant, exceptionless failover.
+          return;
+        }
+        (*done)({status, try_index + 1});
+      },
+      trace);
 }
 
 struct MittosWaitStrategy::Attempt {
@@ -35,6 +40,7 @@ struct MittosWaitStrategy::Attempt {
   std::vector<DurationNs> hints;  // Predicted wait per replica (on EBUSY).
   size_t next = 0;
   GetDoneFn done;
+  obs::TraceContext trace;
 };
 
 MittosWaitStrategy::MittosWaitStrategy(sim::Simulator* sim, cluster::Cluster* cluster,
@@ -47,6 +53,7 @@ void MittosWaitStrategy::Get(uint64_t key, GetDoneFn done) {
   attempt->replicas = Replicas(key);
   attempt->hints.assign(attempt->replicas.size(), 0);
   attempt->done = std::move(done);
+  attempt->trace = BeginTrace();
   TryReplica(std::move(attempt));
 }
 
@@ -63,22 +70,26 @@ void MittosWaitStrategy::TryReplica(std::shared_ptr<Attempt> attempt) {
     }
     const int node = attempt->replicas[best];
     const int tries = static_cast<int>(attempt->replicas.size()) + 1;
-    SendGet(node, attempt->key, sched::kNoDeadline,
-            [attempt, tries](Status status) { attempt->done({status, tries}); });
+    SendGet(
+        node, attempt->key, sched::kNoDeadline,
+        [attempt, tries](Status status) { attempt->done({status, tries}); }, attempt->trace);
     return;
   }
   const size_t index = attempt->next++;
   const int node = attempt->replicas[index];
-  SendGetWithHint(node, attempt->key, options_.deadline,
-                  [this, attempt, index](Status status, DurationNs hint) {
-                    if (status.busy()) {
-                      ++ebusy_failovers_;
-                      attempt->hints[index] = hint;
-                      TryReplica(attempt);
-                      return;
-                    }
-                    attempt->done({status, static_cast<int>(index) + 1});
-                  });
+  SendGetWithHint(
+      node, attempt->key, options_.deadline,
+      [this, attempt, index](Status status, DurationNs hint) {
+        if (status.busy()) {
+          ++ebusy_failovers_;
+          attempt->hints[index] = hint;
+          RecordFailover(attempt->trace);
+          TryReplica(attempt);
+          return;
+        }
+        attempt->done({status, static_cast<int>(index) + 1});
+      },
+      attempt->trace);
 }
 
 }  // namespace mitt::client

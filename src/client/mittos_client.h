@@ -27,7 +27,8 @@ class MittosStrategy : public GetStrategy {
   uint64_t ebusy_failovers() const { return ebusy_failovers_; }
 
  private:
-  void Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done);
+  void Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done,
+               obs::TraceContext trace);
 
   Options options_;
   uint64_t ebusy_failovers_ = 0;

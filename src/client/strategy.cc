@@ -6,23 +6,39 @@ GetStrategy::GetStrategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_
     : sim_(sim), cluster_(cluster), rng_(seed) {}
 
 void GetStrategy::SendGet(int node, uint64_t key, DurationNs deadline,
-                          std::function<void(Status)> on_reply) {
-  SendGetWithHint(node, key, deadline,
-                  [on_reply = std::move(on_reply)](Status s, DurationNs) { on_reply(s); });
+                          std::function<void(Status)> on_reply, obs::TraceContext trace) {
+  SendGetWithHint(
+      node, key, deadline,
+      [on_reply = std::move(on_reply)](Status s, DurationNs) { on_reply(s); }, trace);
 }
 
 void GetStrategy::SendGetWithHint(int node, uint64_t key, DurationNs deadline,
-                                  std::function<void(Status, DurationNs)> on_reply) {
+                                  std::function<void(Status, DurationNs)> on_reply,
+                                  obs::TraceContext trace) {
   cluster::Network& net = cluster_->network();
   cluster::Cluster* cluster = cluster_;
-  net.Deliver([cluster, node, key, deadline, on_reply = std::move(on_reply)]() mutable {
+  net.Deliver([cluster, node, key, deadline, trace, on_reply = std::move(on_reply)]() mutable {
     cluster->node(node).HandleGetWithHint(
         key, deadline,
         [cluster, on_reply = std::move(on_reply)](Status status, DurationNs hint) mutable {
           cluster->network().Deliver(
               [on_reply = std::move(on_reply), status, hint] { on_reply(status, hint); });
-        });
+        },
+        trace);
   });
+}
+
+obs::TraceContext GetStrategy::BeginTrace() {
+  if (obs::Tracer* tr = sim_->tracer(); tr != nullptr && tr->enabled()) {
+    return obs::TraceContext{tr->NewRequestId(), /*node=*/-1};
+  }
+  return {};
+}
+
+void GetStrategy::RecordFailover(const obs::TraceContext& trace) {
+  if (obs::Tracer* tr = sim_->tracer(); tr != nullptr && tr->enabled() && trace.traced()) {
+    tr->RecordInstant(obs::SpanKind::kFailover, trace, sim_->Now());
+  }
 }
 
 }  // namespace mitt::client

@@ -16,6 +16,7 @@
 #include "src/cluster/cluster.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
 namespace mitt::client {
@@ -41,13 +42,24 @@ class GetStrategy {
   virtual void Get(uint64_t key, GetDoneFn done) = 0;
 
  protected:
-  // One request/reply round trip to `node`.
-  void SendGet(int node, uint64_t key, DurationNs deadline, std::function<void(Status)> on_reply);
+  // One request/reply round trip to `node`. `trace` ties the server-side
+  // spans back to this client request (src/obs/; default: untraced).
+  void SendGet(int node, uint64_t key, DurationNs deadline, std::function<void(Status)> on_reply,
+               obs::TraceContext trace = {});
 
   // Round trip whose EBUSY reply carries the server's predicted wait
   // (§7.8.1's interface extension).
   void SendGetWithHint(int node, uint64_t key, DurationNs deadline,
-                       std::function<void(Status, DurationNs)> on_reply);
+                       std::function<void(Status, DurationNs)> on_reply,
+                       obs::TraceContext trace = {});
+
+  // Starts a trace for one logical get(): a fresh deterministic request id
+  // when a tracer is attached and enabled, an untraced context otherwise.
+  obs::TraceContext BeginTrace();
+
+  // Records the client-side failover hop (retrying another replica after an
+  // EBUSY or a timeout) as an instant span.
+  void RecordFailover(const obs::TraceContext& trace);
 
   std::vector<int> Replicas(uint64_t key) const { return cluster_->ReplicasOf(key); }
 

@@ -9,10 +9,11 @@ TimeoutStrategy::TimeoutStrategy(sim::Simulator* sim, cluster::Cluster* cluster,
     : GetStrategy(sim, cluster, seed), options_(options) {}
 
 void TimeoutStrategy::Get(uint64_t key, GetDoneFn done) {
-  Attempt(key, 0, std::make_shared<GetDoneFn>(std::move(done)));
+  Attempt(key, 0, std::make_shared<GetDoneFn>(std::move(done)), BeginTrace());
 }
 
-void TimeoutStrategy::Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done) {
+void TimeoutStrategy::Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done,
+                              obs::TraceContext trace) {
   const auto replicas = Replicas(key);
   const int node = replicas[static_cast<size_t>(try_index) % replicas.size()];
   const bool last_try = try_index + 1 >= options_.max_tries;
@@ -21,7 +22,7 @@ void TimeoutStrategy::Attempt(uint64_t key, int try_index, std::shared_ptr<GetDo
   auto settled = std::make_shared<bool>(false);
   sim::EventId timer = sim::kInvalidEventId;
   if (!last_try && options_.timeout > 0) {
-    timer = sim_->Schedule(options_.timeout, [this, key, try_index, done, settled] {
+    timer = sim_->Schedule(options_.timeout, [this, key, try_index, done, settled, trace] {
       if (*settled) {
         return;
       }
@@ -33,21 +34,24 @@ void TimeoutStrategy::Attempt(uint64_t key, int try_index, std::shared_ptr<GetDo
         (*done)({Status::Timeout(), try_index + 1});
         return;
       }
-      Attempt(key, try_index + 1, done);
+      RecordFailover(trace);
+      Attempt(key, try_index + 1, done, trace);
     });
   }
 
-  SendGet(node, key, sched::kNoDeadline,
-          [this, timer, settled, done, try_index](Status status) {
-            if (*settled) {
-              return;  // Timed out earlier; this reply is stale (app-level cancel).
-            }
-            *settled = true;
-            if (timer != sim::kInvalidEventId) {
-              sim_->Cancel(timer);
-            }
-            (*done)({status, try_index + 1});
-          });
+  SendGet(
+      node, key, sched::kNoDeadline,
+      [this, timer, settled, done, try_index](Status status) {
+        if (*settled) {
+          return;  // Timed out earlier; this reply is stale (app-level cancel).
+        }
+        *settled = true;
+        if (timer != sim::kInvalidEventId) {
+          sim_->Cancel(timer);
+        }
+        (*done)({status, try_index + 1});
+      },
+      trace);
 }
 
 }  // namespace mitt::client

@@ -36,7 +36,8 @@ class TimeoutStrategy : public GetStrategy {
   uint64_t timeouts_fired() const { return timeouts_fired_; }
 
  private:
-  void Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done);
+  void Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done,
+               obs::TraceContext trace);
 
   Options options_;
   uint64_t timeouts_fired_ = 0;

@@ -52,6 +52,12 @@ void LatencyRecorder::EnsureSorted() const {
   }
 }
 
+size_t LatencyRecorder::RankIndex(double p) const {
+  const auto rank =
+      static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  return std::min(rank == 0 ? 0 : rank - 1, samples_.size() - 1);
+}
+
 DurationNs LatencyRecorder::Percentile(double p) const {
   if (samples_.empty()) {
     return 0;
@@ -62,9 +68,7 @@ DurationNs LatencyRecorder::Percentile(double p) const {
   if (p >= 100) {
     return max_;
   }
-  const auto rank =
-      static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
-  const size_t idx = std::min(rank == 0 ? 0 : rank - 1, samples_.size() - 1);
+  const size_t idx = RankIndex(p);
   if (scratch_state_ == ScratchState::kSorted) {
     return scratch_[idx];
   }
@@ -74,6 +78,19 @@ DurationNs LatencyRecorder::Percentile(double p) const {
   auto nth = scratch_.begin() + static_cast<std::ptrdiff_t>(idx);
   std::nth_element(scratch_.begin(), nth, scratch_.end());
   return *nth;
+}
+
+std::vector<DurationNs> LatencyRecorder::Percentiles(std::span<const double> ps) const {
+  std::vector<DurationNs> out(ps.size(), 0);
+  if (samples_.empty()) {
+    return out;
+  }
+  EnsureSorted();
+  for (size_t i = 0; i < ps.size(); ++i) {
+    const double p = ps[i];
+    out[i] = p <= 0 ? min_ : (p >= 100 ? max_ : scratch_[RankIndex(p)]);
+  }
+  return out;
 }
 
 double LatencyRecorder::MeanNs() const {
@@ -99,10 +116,15 @@ std::vector<LatencyRecorder::CdfPoint> LatencyRecorder::CdfSeries(size_t points)
   }
   EnsureSorted();
   out.reserve(points);
-  for (size_t i = 1; i <= points; ++i) {
-    const double frac = static_cast<double>(i) / static_cast<double>(points);
-    const auto idx = static_cast<size_t>(frac * static_cast<double>(scratch_.size() - 1));
-    out.push_back({scratch_[idx], frac});
+  const size_t n = scratch_.size();
+  // Ranks evenly spaced from 0 (the min — a CDF plot must show where the
+  // distribution starts) to n-1 (the max). points=1 degenerates to the low
+  // end rather than the old max-only point.
+  for (size_t i = 0; i < points; ++i) {
+    const size_t idx =
+        points == 1 ? 0 : i * (n - 1) / (points - 1);
+    out.push_back({scratch_[idx],
+                   static_cast<double>(idx + 1) / static_cast<double>(n)});
   }
   return out;
 }

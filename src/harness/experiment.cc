@@ -210,7 +210,17 @@ void Experiment::CollectCounters(StrategyKind kind, const client::GetStrategy& s
 }
 
 RunResult Experiment::Run(StrategyKind kind) {
+  // Declared before the simulator so every world component is torn down
+  // before its observability sinks.
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<obs::Tracer> tracer;
+
   sim::Simulator sim;
+  sim.set_metrics(&metrics);
+  if (options_.trace) {
+    tracer = std::make_unique<obs::Tracer>(options_.trace_capacity);
+    sim.set_tracer(tracer.get());
+  }
 
   cluster::Cluster::Options copt;
   copt.num_nodes = options_.num_nodes;
@@ -426,6 +436,11 @@ RunResult Experiment::Run(StrategyKind kind) {
   }
   result.sim_duration = sim.Now();
   CollectCounters(kind, *strategy, &result);
+  if (tracer != nullptr) {
+    result.trace_spans = tracer->OrderedSpans();
+    result.trace_dropped = tracer->dropped();
+  }
+  result.metrics = std::move(metrics);
   return result;
 }
 
@@ -462,11 +477,18 @@ void PrintPercentileTable(const std::vector<RunResult>& results,
     header.push_back(r.name + " (ms)");
   }
   Table table(std::move(header));
-  for (const double p : percentiles) {
+  // One sorted pass per result instead of one per table cell.
+  std::vector<std::vector<DurationNs>> columns;
+  columns.reserve(results.size());
+  for (const auto& r : results) {
+    const auto& rec = user_level ? r.user_latencies : r.get_latencies;
+    columns.push_back(rec.Percentiles(percentiles));
+  }
+  for (size_t pi = 0; pi < percentiles.size(); ++pi) {
+    const double p = percentiles[pi];
     std::vector<std::string> row = {"p" + Table::Num(p, p == static_cast<int>(p) ? 0 : 1)};
-    for (const auto& r : results) {
-      const auto& rec = user_level ? r.user_latencies : r.get_latencies;
-      row.push_back(Table::Num(ToMillis(rec.Percentile(p)), 2));
+    for (const auto& column : columns) {
+      row.push_back(Table::Num(ToMillis(column[pi]), 2));
     }
     table.AddRow(std::move(row));
   }
@@ -490,12 +512,13 @@ void PrintReductionTable(const RunResult& mitt, const std::vector<RunResult>& ot
   header.push_back("avg (%)");
   Table table(std::move(header));
   const auto& mitt_rec = user_level ? mitt.user_latencies : mitt.get_latencies;
+  const std::vector<DurationNs> mitt_ps = mitt_rec.Percentiles(percentiles);
   for (const auto& other : others) {
     const auto& other_rec = user_level ? other.user_latencies : other.get_latencies;
+    const std::vector<DurationNs> other_ps = other_rec.Percentiles(percentiles);
     std::vector<std::string> row = {other.name};
-    for (const double p : percentiles) {
-      row.push_back(
-          Table::Num(ReductionPercent(mitt_rec.Percentile(p), other_rec.Percentile(p)), 1));
+    for (size_t pi = 0; pi < percentiles.size(); ++pi) {
+      row.push_back(Table::Num(ReductionPercent(mitt_ps[pi], other_ps[pi]), 1));
     }
     row.push_back(Table::Num(ReductionPercent(mitt_rec.MeanNs(), other_rec.MeanNs()), 1));
     table.AddRow(std::move(row));

@@ -25,6 +25,8 @@
 #include "src/common/latency_recorder.h"
 #include "src/kv/doc_store_node.h"
 #include "src/noise/ec2_noise.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/os/os.h"
 #include "src/workload/ycsb.h"
 
@@ -87,6 +89,12 @@ struct ExperimentOptions {
   DurationNs app_timeout = -2;
   bool app_timeout_failover = true;
 
+  // Observability (src/obs/). Metrics are always collected (near-free);
+  // span tracing is opt-in because a traced run records a span per layer per
+  // request. Both are inert when the obs subsystem is compiled out.
+  bool trace = false;
+  size_t trace_capacity = obs::Tracer::kDefaultCapacity;
+
   // Noise.
   NoiseKind noise = NoiseKind::kEc2;
   noise::Ec2NoiseParams ec2;
@@ -115,6 +123,13 @@ struct RunResult {
   uint64_t user_errors = 0;  // Timeout surfaced to the user (no failover).
   uint64_t noise_ios = 0;    // IOs the noise injectors issued during the run.
   TimeNs sim_duration = 0;
+
+  // Observability harvest (src/obs/): the run's metrics registry, plus — for
+  // traced runs — the span buffer oldest-to-newest. Trial-order merging keeps
+  // traces bit-identical at any MITT_TRIAL_WORKERS setting.
+  obs::MetricsRegistry metrics;
+  std::vector<obs::SpanRecord> trace_spans;
+  uint64_t trace_dropped = 0;
 };
 
 // Compressed EC2 noise preset: same per-node busy fraction and sub-second

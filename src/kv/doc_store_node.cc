@@ -9,6 +9,7 @@ DocStoreNode::DocStoreNode(sim::Simulator* sim, int node_id, const Options& opti
     : sim_(sim), node_id_(node_id), options_(options) {
   os::OsOptions os_options = options_.os;
   os_options.seed ^= static_cast<uint64_t>(node_id) * 0x1000'0001ULL;
+  os_options.node_label = node_id;
   os_ = std::make_unique<os::Os>(sim_, os_options);
   if (shared_cpu != nullptr) {
     cpu_ = shared_cpu;
@@ -28,19 +29,21 @@ void DocStoreNode::WarmCache(double fraction) {
 }
 
 void DocStoreNode::HandleGet(uint64_t key, DurationNs deadline,
-                             std::function<void(Status)> reply) {
-  HandleGetWithHint(key, deadline,
-                    [reply = std::move(reply)](Status s, DurationNs) { reply(s); });
+                             std::function<void(Status)> reply, obs::TraceContext trace) {
+  HandleGetWithHint(
+      key, deadline, [reply = std::move(reply)](Status s, DurationNs) { reply(s); }, trace);
 }
 
-void DocStoreNode::HandleGetWithHint(uint64_t key, DurationNs deadline, RichReplyFn reply) {
+void DocStoreNode::HandleGetWithHint(uint64_t key, DurationNs deadline, RichReplyFn reply,
+                                     obs::TraceContext trace) {
   ++gets_served_;
-  cpu_->Execute(options_.handler_cpu / 2, [this, key, deadline, reply = std::move(reply)] {
-    DoRead(key, deadline, std::move(reply));
+  cpu_->Execute(options_.handler_cpu / 2, [this, key, deadline, trace, reply = std::move(reply)] {
+    DoRead(key, deadline, std::move(reply), trace);
   });
 }
 
-void DocStoreNode::DoRead(uint64_t key, DurationNs deadline, RichReplyFn reply) {
+void DocStoreNode::DoRead(uint64_t key, DurationNs deadline, RichReplyFn reply,
+                          obs::TraceContext trace) {
   const int64_t offset = OffsetOfKey(key);
 
   auto finish = [this, reply = std::move(reply)](Status status, DurationNs hint) {
@@ -57,7 +60,7 @@ void DocStoreNode::DoRead(uint64_t key, DurationNs deadline, RichReplyFn reply) 
   };
 
   if (options_.access == AccessPath::kMmapAddrCheck) {
-    const auto check = os_->AddrCheck(data_file_, offset, options_.doc_size, deadline);
+    const auto check = os_->AddrCheck(data_file_, offset, options_.doc_size, deadline, trace);
     if (check.status.busy()) {
       // Fail over instantly; the OS keeps swapping the page in behind us.
       // The wait hint is the device floor (the page must come off the disk).
@@ -78,6 +81,7 @@ void DocStoreNode::DoRead(uint64_t key, DurationNs deadline, RichReplyFn reply) 
   args.size = options_.doc_size;
   args.deadline = deadline;
   args.pid = options_.server_pid;
+  args.trace = trace;
   os_->ReadWithWaitHint(args, [finish](Status s, DurationNs hint) { finish(s, hint); });
 }
 

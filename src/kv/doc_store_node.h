@@ -24,6 +24,7 @@
 
 #include "src/cluster/cpu_pool.h"
 #include "src/common/status.h"
+#include "src/obs/trace.h"
 #include "src/os/os.h"
 #include "src/sim/simulator.h"
 
@@ -59,13 +60,16 @@ class DocStoreNode {
   DocStoreNode& operator=(const DocStoreNode&) = delete;
 
   // Serves one get(). `deadline` of sched::kNoDeadline means no SLO (vanilla
-  // request). Replies with kOk or kEbusy.
-  void HandleGet(uint64_t key, DurationNs deadline, std::function<void(Status)> reply);
+  // request). Replies with kOk or kEbusy. `trace` identifies the originating
+  // client request for src/obs/ (default: untraced).
+  void HandleGet(uint64_t key, DurationNs deadline, std::function<void(Status)> reply,
+                 obs::TraceContext trace = {});
 
   // §7.8.1 extension: EBUSY replies carry the OS' predicted wait so the
   // client can pick the least-busy replica when all replicas reject.
   using RichReplyFn = std::function<void(Status, DurationNs predicted_wait)>;
-  void HandleGetWithHint(uint64_t key, DurationNs deadline, RichReplyFn reply);
+  void HandleGetWithHint(uint64_t key, DurationNs deadline, RichReplyFn reply,
+                         obs::TraceContext trace = {});
 
   // Serves one put() — buffered write (§7.8.6).
   void HandlePut(uint64_t key, std::function<void(Status)> reply);
@@ -89,7 +93,7 @@ class DocStoreNode {
            options_.slot_size;
   }
 
-  void DoRead(uint64_t key, DurationNs deadline, RichReplyFn reply);
+  void DoRead(uint64_t key, DurationNs deadline, RichReplyFn reply, obs::TraceContext trace);
 
   sim::Simulator* sim_;
   int node_id_;

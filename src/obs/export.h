@@ -1,0 +1,81 @@
+// Trace consumers: Chrome trace_event JSON export and the per-layer
+// latency-breakdown table.
+//
+// The JSON is the Chrome Trace Event Format ("traceEvents" array of "X"
+// complete events, microsecond timestamps) — load it in chrome://tracing or
+// https://ui.perfetto.dev. pid encodes (trial, node) so a merged multi-trial
+// export shows each trial's nodes as separate process groups; tid is the
+// request id, so one row per request shows its whole syscall -> queue ->
+// device -> (reject/failover) story.
+//
+// The breakdown table answers the attribution question directly: for each
+// request outcome (cache hit / accepted device IO / rejected / failed-over),
+// the p50/p95/p99 of queue-wait vs device-service vs syscall-overhead, where
+// syscall overhead := end-to-end minus queue minus device — the residual the
+// OS itself spent (admission check, completion delivery).
+
+#ifndef MITTOS_OBS_EXPORT_H_
+#define MITTOS_OBS_EXPORT_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/latency_recorder.h"
+#include "src/obs/trace.h"
+
+namespace mitt::obs {
+
+// One trial's (or run's) spans plus the label shown in the trace viewer.
+struct TraceGroup {
+  std::string label;
+  std::vector<SpanRecord> spans;
+};
+
+// Serializes groups (in order) to Chrome trace_event JSON. Deterministic:
+// output depends only on the groups' contents and order.
+std::string ChromeTraceJson(std::span<const TraceGroup> groups);
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans,
+                            std::string_view label = "run");
+
+// Minimal structural JSON validator (objects, arrays, strings, numbers,
+// literals). Used by tests and the quickstart smoke test to check exported
+// traces parse, without an external JSON dependency.
+bool ValidateJsonSyntax(std::string_view text);
+
+// --- Latency breakdown -------------------------------------------------------
+
+enum class RequestOutcome : uint8_t {
+  kCacheHit,    // Syscall served from the page cache (no device IO).
+  kAccepted,    // Device IO accepted and completed in one try.
+  kRejected,    // Every syscall of the request ended in EBUSY.
+  kFailedOver,  // >=1 EBUSY, then a later syscall succeeded.
+};
+
+std::string_view RequestOutcomeName(RequestOutcome outcome);
+
+struct BreakdownRow {
+  RequestOutcome outcome = RequestOutcome::kAccepted;
+  uint64_t requests = 0;
+  LatencyRecorder queue_wait;
+  LatencyRecorder device_service;
+  LatencyRecorder syscall_overhead;
+  LatencyRecorder end_to_end;  // Across all the request's syscall spans.
+};
+
+struct LatencyBreakdown {
+  std::vector<BreakdownRow> rows;  // One per outcome present, in enum order.
+  uint64_t untraced_spans = 0;     // Spans with request id 0 (noise IOs).
+};
+
+// Groups spans by request id and classifies each request. Spans of a request
+// whose syscall window is incomplete (ring overwrote its start) are skipped.
+LatencyBreakdown ComputeLatencyBreakdown(std::span<const SpanRecord> spans);
+
+// Paper-style table: one row per (outcome, component), p50/p95/p99 in ms.
+void PrintLatencyBreakdown(const LatencyBreakdown& breakdown);
+
+}  // namespace mitt::obs
+
+#endif  // MITTOS_OBS_EXPORT_H_

@@ -1,0 +1,21 @@
+// Compile-time gate for the obs subsystem (tracing + metrics).
+//
+// Configuring with -DMITT_OBS_DISABLED=ON defines MITT_OBS_DISABLED and
+// turns Simulator::tracer()/metrics() into constant-null inline functions,
+// so every `if (auto* t = sim->tracer())` recording site is dead-code
+// eliminated — the zero-cost path CI keeps honest (see .github/workflows).
+// The obs classes themselves still compile either way; only the hooks that
+// feed them are removed.
+//
+// This header is intentionally dependency-free: simulator.h includes it.
+
+#ifndef MITTOS_OBS_GATE_H_
+#define MITTOS_OBS_GATE_H_
+
+#ifdef MITT_OBS_DISABLED
+#define MITT_OBS_ENABLED 0
+#else
+#define MITT_OBS_ENABLED 1
+#endif
+
+#endif  // MITTOS_OBS_GATE_H_

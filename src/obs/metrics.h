@@ -1,0 +1,94 @@
+// Named counters, gauges, and histograms with node labels.
+//
+// Experiments and benches read these instead of threading ad-hoc local
+// counters through every layer: the OS increments `ebusy_total`,
+// `cache_hit_total`, `deadline_miss_total`; the schedulers keep
+// `predictor_accept_total`/`predictor_reject_total` and the `queue_depth`
+// gauge. A metric is identified by (name, node); node -1 means "no node
+// label" (client-side or single-machine setups).
+//
+// Determinism: metrics live in std::map keyed by (name, node), so iteration
+// order — and therefore every printed table — is independent of insertion
+// order. Each trial owns its own registry (attached to its Simulator), so
+// parallel trial runs stay bit-identical.
+//
+// Cost: lookup is a map probe; recording through a cached Counter*/Gauge* is
+// one add. Instrumented layers resolve their metric handles once (lazily, on
+// first use) and record through the cached pointers — std::map node
+// addresses are stable. With MITT_OBS_DISABLED, Simulator::metrics() is
+// constant null and every site folds away.
+
+#ifndef MITTOS_OBS_METRICS_H_
+#define MITTOS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/latency_recorder.h"
+#include "src/obs/gate.h"
+
+namespace mitt::obs {
+
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  struct Key {
+    std::string name;
+    int node = -1;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  // Find-or-create. References are stable for the registry's lifetime.
+  Counter& counter(std::string_view name, int node = -1);
+  Gauge& gauge(std::string_view name, int node = -1);
+  LatencyRecorder& histogram(std::string_view name, int node = -1);
+
+  // Read-side lookups; missing metrics read as zero/empty.
+  uint64_t CounterValue(std::string_view name, int node = -1) const;
+  uint64_t CounterTotal(std::string_view name) const;  // Summed over nodes.
+  double GaugeValue(std::string_view name, int node = -1) const;
+
+  const std::map<Key, Counter>& counters() const { return counters_; }
+  const std::map<Key, Gauge>& gauges() const { return gauges_; }
+  const std::map<Key, LatencyRecorder>& histograms() const { return histograms_; }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  void Clear();
+
+ private:
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, LatencyRecorder> histograms_;
+};
+
+// Prints every counter and gauge as a (metric, node, value) table, one row
+// per labeled instance plus a summed "all" row for multi-node counters.
+void PrintMetricsTable(const MetricsRegistry& metrics);
+
+}  // namespace mitt::obs
+
+#endif  // MITTOS_OBS_METRICS_H_

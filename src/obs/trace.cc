@@ -1,0 +1,61 @@
+#include "src/obs/trace.h"
+
+namespace mitt::obs {
+
+std::string_view SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kSyscall:
+      return "syscall";
+    case SpanKind::kCacheLookup:
+      return "cache_lookup";
+    case SpanKind::kPredict:
+      return "predict";
+    case SpanKind::kQueueWait:
+      return "queue_wait";
+    case SpanKind::kDeviceService:
+      return "device_service";
+    case SpanKind::kEbusyReject:
+      return "ebusy_reject";
+    case SpanKind::kFailover:
+      return "failover";
+  }
+  return "?";
+}
+
+Tracer::Tracer(size_t capacity) { ring_.resize(capacity == 0 ? 1 : capacity); }
+
+void Tracer::RecordSpan(SpanKind kind, const TraceContext& ctx, TimeNs begin, TimeNs end) {
+  if (!enabled_) {
+    return;
+  }
+  SpanRecord& slot = ring_[head_];
+  slot.request_id = ctx.id;
+  slot.begin = begin;
+  slot.end = end;
+  slot.node = ctx.node;
+  slot.kind = kind;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (size_ < ring_.size()) {
+    ++size_;
+  }
+  ++recorded_;
+}
+
+std::vector<SpanRecord> Tracer::OrderedSpans() const {
+  std::vector<SpanRecord> out;
+  out.reserve(size_);
+  // Oldest record sits at head_ once the ring has wrapped, at 0 before.
+  const size_t start = size_ == ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace mitt::obs

@@ -120,21 +120,27 @@ void MittSsdPredictor::OnCompletion(const sched::IoRequest& req) {
 
 SsdBlockLayer::SsdBlockLayer(sim::Simulator* sim, device::SsdModel* ssd,
                              MittSsdPredictor* predictor)
-    : sim_(sim), ssd_(ssd), predictor_(predictor) {
+    : sim_(sim), ssd_(ssd), predictor_(predictor), obs_(sim) {
   ssd_->set_completion_listener([this](sched::IoRequest* req) { OnDeviceCompletion(req); });
 }
 
 void SsdBlockLayer::Submit(sched::IoRequest* req) {
   req->submit_time = sim_->Now();
-  if (predictor_ != nullptr && predictor_->ShouldReject(req)) {
-    if (req->on_complete) {
-      req->on_complete(*req, Status::Ebusy());
-    }
-    return;
-  }
+  obs_.Touch(*req);
   if (predictor_ != nullptr) {
+    const bool reject = predictor_->ShouldReject(req);
+    obs_.OnPredict(*req, reject);
+    if (reject) {
+      if (req->on_complete) {
+        req->on_complete(*req, Status::Ebusy());
+      }
+      return;
+    }
     predictor_->OnAccepted(*req);
   }
+  // No block-layer queue: the IO goes straight to the device, so queue_wait
+  // is zero-length and device-internal queueing shows up as device_service.
+  obs_.OnDispatch(*req);
   ssd_->Submit(req);
 }
 
@@ -142,6 +148,7 @@ void SsdBlockLayer::OnDeviceCompletion(sched::IoRequest* req) {
   if (predictor_ != nullptr) {
     predictor_->OnCompletion(*req);
   }
+  obs_.OnServiceDone(*req);
   if (req->on_complete) {
     req->on_complete(*req, Status::Ok());
   }

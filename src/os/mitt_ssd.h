@@ -28,6 +28,7 @@
 #include "src/device/ssd_profile.h"
 #include "src/os/predictor_common.h"
 #include "src/sched/io_request.h"
+#include "src/sched/sched_obs.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/simulator.h"
 
@@ -97,6 +98,7 @@ class SsdBlockLayer : public sched::IoScheduler {
   sim::Simulator* sim_;
   device::SsdModel* ssd_;
   MittSsdPredictor* predictor_;
+  sched::SchedObs obs_;
 };
 
 }  // namespace mitt::os

@@ -57,6 +57,15 @@ Os::Os(sim::Simulator* sim, const OsOptions& options)
   }
   cache_ = std::make_unique<PageCache>(options_.cache);
   flush_event_ = sim_->ScheduleDaemon(options_.flush_interval, [this] { FlushTick(); });
+
+  if (obs::MetricsRegistry* mx = sim_->metrics()) {
+    const int node = options_.node_label;
+    ebusy_total_ = &mx->counter("ebusy_total", node);
+    cache_hit_total_ = &mx->counter("cache_hit_total", node);
+    cache_miss_total_ = &mx->counter("cache_miss_total", node);
+    deadline_hit_total_ = &mx->counter("deadline_hit_total", node);
+    deadline_miss_total_ = &mx->counter("deadline_miss_total", node);
+  }
 }
 
 Os::~Os() { sim_->Cancel(flush_event_); }
@@ -99,15 +108,51 @@ void Os::Read(const ReadArgs& args, std::function<void(Status)> done) {
   }
 }
 
+void Os::TraceReadDone(const obs::TraceContext& trace, TimeNs begin, TimeNs end,
+                       DurationNs deadline, Status status) {
+  if (obs::Tracer* tr = sim_->tracer(); tr != nullptr && tr->enabled() && trace.traced()) {
+    tr->RecordSpan(obs::SpanKind::kSyscall, trace, begin, end);
+    if (status.busy()) {
+      tr->RecordInstant(obs::SpanKind::kEbusyReject, trace, end);
+    }
+  }
+  if (status.busy()) {
+    if (ebusy_total_ != nullptr) {
+      ebusy_total_->Add();
+    }
+  } else if (deadline != sched::kNoDeadline) {
+    obs::Counter* c = (end - begin) <= deadline ? deadline_hit_total_ : deadline_miss_total_;
+    if (c != nullptr) {
+      c->Add();
+    }
+  }
+}
+
 void Os::ReadWithWaitHint(const ReadArgs& args, RichReadFn done) {
-  if (!args.bypass_cache && cache_->Resident(args.file, args.offset, args.size)) {
-    cache_->Touch(args.file, args.offset, args.size);
-    sim_->Schedule(options_.hit_latency, [done = std::move(done)] {
-      if (done) {
-        done(Status::Ok(), 0);
+  obs::TraceContext trace = args.trace;
+  trace.node = options_.node_label;
+  const TimeNs t0 = sim_->Now();
+
+  if (!args.bypass_cache) {
+    if (obs::Tracer* tr = sim_->tracer(); tr != nullptr && tr->enabled() && trace.traced()) {
+      tr->RecordInstant(obs::SpanKind::kCacheLookup, trace, t0);
+    }
+    if (cache_->Resident(args.file, args.offset, args.size)) {
+      if (cache_hit_total_ != nullptr) {
+        cache_hit_total_->Add();
       }
-    });
-    return;
+      cache_->Touch(args.file, args.offset, args.size);
+      TraceReadDone(trace, t0, t0 + options_.hit_latency, args.deadline, Status::Ok());
+      sim_->Schedule(options_.hit_latency, [done = std::move(done)] {
+        if (done) {
+          done(Status::Ok(), 0);
+        }
+      });
+      return;
+    }
+    if (cache_miss_total_ != nullptr) {
+      cache_miss_total_->Add();
+    }
   }
 
   const bool slo_active = options_.mitt_enabled && args.deadline != sched::kNoDeadline;
@@ -117,6 +162,7 @@ void Os::ReadWithWaitHint(const ReadArgs& args, RichReadFn done) {
     // The wait hint is the device floor: the soonest any retry here could
     // complete.
     const DurationNs hint = MinDeviceLatency();
+    TraceReadDone(trace, t0, t0 + options_.syscall_overhead, args.deadline, Status::Ebusy());
     sim_->Schedule(options_.syscall_overhead, [done = std::move(done), hint] {
       if (done) {
         done(Status::Ebusy(), hint);
@@ -127,12 +173,12 @@ void Os::ReadWithWaitHint(const ReadArgs& args, RichReadFn done) {
 
   SubmitDeviceRead(args.file, args.offset, args.size,
                    options_.mitt_enabled ? args.deadline : sched::kNoDeadline, args.pid,
-                   args.io_class, args.priority, !args.bypass_cache, std::move(done));
+                   args.io_class, args.priority, !args.bypass_cache, trace, std::move(done));
 }
 
 void Os::SubmitDeviceRead(uint64_t file, int64_t offset, int64_t size, DurationNs deadline,
                           int32_t pid, sched::IoClass io_class, int8_t priority, bool fill_cache,
-                          RichReadFn done) {
+                          obs::TraceContext trace, RichReadFn done) {
   sched::IoRequest* req = NewRequest();
   req->op = sched::IoOp::kRead;
   req->offset = FileBase(file) + offset;
@@ -141,14 +187,21 @@ void Os::SubmitDeviceRead(uint64_t file, int64_t offset, int64_t size, DurationN
   req->io_class = io_class;
   req->priority = priority;
   req->deadline = deadline;
+  trace.node = options_.node_label;
+  req->trace = trace;
   req->on_complete = [this, file, offset, size, fill_cache, done = std::move(done)](
                          const sched::IoRequest& r, Status status) {
     if (status.ok() && fill_cache) {
       cache_->Insert(file, offset, size);
     }
+    const DurationNs return_cost =
+        status.busy() ? options_.syscall_overhead : options_.syscall_overhead / 2;
+    if (r.trace.traced() || r.has_deadline()) {
+      // submit_time == the syscall entry instant: submission into the
+      // scheduler is synchronous.
+      TraceReadDone(r.trace, r.submit_time, sim_->Now() + return_cost, r.deadline, status);
+    }
     if (done) {
-      const DurationNs return_cost =
-          status.busy() ? options_.syscall_overhead : options_.syscall_overhead / 2;
       const DurationNs hint = r.predicted_wait;
       sim_->Schedule(return_cost, [done, status, hint] { done(status, hint); });
     }
@@ -183,6 +236,7 @@ void Os::SubmitDeviceWrite(const WriteArgs& args, std::function<void(Status)> do
   req->pid = args.pid;
   req->io_class = args.io_class;
   req->priority = args.priority;
+  req->trace.node = options_.node_label;  // Untraced, but labelled for metrics.
   req->on_complete = [this, done = std::move(done)](const sched::IoRequest& r, Status status) {
     if (done) {
       sim_->Schedule(options_.syscall_overhead / 2, [done, status] { done(status); });
@@ -209,11 +263,26 @@ void Os::FlushTick() {
   flush_event_ = sim_->ScheduleDaemon(options_.flush_interval, [this] { FlushTick(); });
 }
 
-Os::AddrCheckResult Os::AddrCheck(uint64_t file, int64_t offset, int64_t size,
-                                  DurationNs deadline) {
+Os::AddrCheckResult Os::AddrCheck(uint64_t file, int64_t offset, int64_t size, DurationNs deadline,
+                                  const obs::TraceContext& trace) {
   const DurationNs cost = options_.addrcheck_cost;
+  obs::TraceContext ctx = trace;
+  ctx.node = options_.node_label;
+  const TimeNs t0 = sim_->Now();
+  obs::Tracer* tr = sim_->tracer();
+  const bool record = tr != nullptr && tr->enabled() && ctx.traced();
+  if (record) {
+    tr->RecordInstant(obs::SpanKind::kCacheLookup, ctx, t0);
+    tr->RecordSpan(obs::SpanKind::kSyscall, ctx, t0, t0 + cost);
+  }
   if (cache_->Resident(file, offset, size)) {
+    if (cache_hit_total_ != nullptr) {
+      cache_hit_total_->Add();
+    }
     return {Status::Ok(), cost};
+  }
+  if (cache_miss_total_ != nullptr) {
+    cache_miss_total_->Add();
   }
   if (!options_.mitt_enabled) {
     return {Status::Ok(), cost};  // Vanilla kernel: no such syscall semantics.
@@ -231,8 +300,14 @@ Os::AddrCheckResult Os::AddrCheck(uint64_t file, int64_t offset, int64_t size,
   }
   // EBUSY — but for fairness keep swapping the data in, in the background,
   // so this tenant's pages still get populated (§4.4).
+  if (record) {
+    tr->RecordInstant(obs::SpanKind::kEbusyReject, ctx, t0 + cost);
+  }
+  if (ebusy_total_ != nullptr) {
+    ebusy_total_->Add();
+  }
   SubmitDeviceRead(file, offset, size, sched::kNoDeadline, 0, sched::IoClass::kBestEffort, 7,
-                   /*fill_cache=*/true, nullptr);
+                   /*fill_cache=*/true, /*trace=*/{}, nullptr);
   return {Status::Ebusy(), cost};
 }
 
@@ -246,7 +321,7 @@ void Os::MmapAccess(uint64_t file, int64_t offset, int64_t size, int32_t pid,
   // Page fault: a blocking device read with no deadline (no syscall is
   // involved, so the OS cannot signal EBUSY, §4.4).
   SubmitDeviceRead(file, offset, size, sched::kNoDeadline, pid, sched::IoClass::kBestEffort, 4,
-                   /*fill_cache=*/true,
+                   /*fill_cache=*/true, /*trace=*/{},
                    [done = std::move(done)](Status s, DurationNs) { done(s); });
 }
 

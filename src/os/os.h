@@ -28,6 +28,8 @@
 #include "src/device/disk_profile.h"
 #include "src/device/ssd_model.h"
 #include "src/device/ssd_profile.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/os/mitt_cfq.h"
 #include "src/os/mitt_noop.h"
 #include "src/os/mitt_ssd.h"
@@ -69,6 +71,10 @@ struct OsOptions {
   // Background flush of buffered writes.
   DurationNs flush_interval = Millis(500);
 
+  // Node label stamped on spans and metrics this machine emits (src/obs/);
+  // -1 for single-machine setups.
+  int node_label = -1;
+
   uint64_t seed = 1;
 };
 
@@ -94,6 +100,7 @@ class Os {
     sched::IoClass io_class = sched::IoClass::kBestEffort;
     int8_t priority = 4;
     bool bypass_cache = false;  // O_DIRECT-style; used by noise tenants.
+    obs::TraceContext trace;    // Originating client request (id 0: untraced).
   };
   void Read(const ReadArgs& args, std::function<void(Status)> done);
 
@@ -122,7 +129,8 @@ class Os {
     Status status;
     DurationNs cost;  // Simulated syscall cost the caller must account for.
   };
-  AddrCheckResult AddrCheck(uint64_t file, int64_t offset, int64_t size, DurationNs deadline);
+  AddrCheckResult AddrCheck(uint64_t file, int64_t offset, int64_t size, DurationNs deadline,
+                            const obs::TraceContext& trace = {});
 
   // mmap-ed access without AddrCheck: page faults block (vanilla MongoDB).
   void MmapAccess(uint64_t file, int64_t offset, int64_t size, int32_t pid,
@@ -152,8 +160,14 @@ class Os {
 
   void SubmitDeviceRead(uint64_t file, int64_t offset, int64_t size, DurationNs deadline,
                         int32_t pid, sched::IoClass io_class, int8_t priority, bool fill_cache,
-                        RichReadFn done);
+                        obs::TraceContext trace, RichReadFn done);
   void SubmitDeviceWrite(const WriteArgs& args, std::function<void(Status)> done);
+
+  // Records the syscall-level span/counters for one finished read attempt.
+  // `end` is the simulated instant the result reaches the caller; it may lie
+  // (deterministically) in the future of the recording instant.
+  void TraceReadDone(const obs::TraceContext& trace, TimeNs begin, TimeNs end, DurationNs deadline,
+                     Status status);
   void FlushTick();
   sched::IoRequest* NewRequest();
   void FinishRequest(sched::IoRequest* req);
@@ -161,6 +175,14 @@ class Os {
   sim::Simulator* sim_;
   OsOptions options_;
   Rng rng_;
+
+  // Cached obs metric handles (null when no registry is attached to the
+  // simulator at construction time; map references are stable).
+  obs::Counter* ebusy_total_ = nullptr;
+  obs::Counter* cache_hit_total_ = nullptr;
+  obs::Counter* cache_miss_total_ = nullptr;
+  obs::Counter* deadline_hit_total_ = nullptr;
+  obs::Counter* deadline_miss_total_ = nullptr;
 
   std::unique_ptr<device::DiskModel> disk_;
   std::unique_ptr<device::SsdModel> ssd_;

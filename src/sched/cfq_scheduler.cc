@@ -11,7 +11,7 @@ int ClassRank(IoClass c) { return static_cast<int>(c); }
 
 CfqScheduler::CfqScheduler(sim::Simulator* sim, device::DiskModel* disk,
                            os::MittCfqPredictor* predictor, const CfqParams& params)
-    : sim_(sim), disk_(disk), predictor_(predictor), params_(params) {
+    : sim_(sim), disk_(disk), predictor_(predictor), params_(params), obs_(sim) {
   disk_->set_completion_listener([this](IoRequest* req) { OnDeviceCompletion(req); });
   disk_->set_capacity_listener([this] { DispatchMore(); });
 }
@@ -87,9 +87,14 @@ void CfqScheduler::SelectActive() {
 
 void CfqScheduler::Submit(IoRequest* req) {
   req->submit_time = sim_->Now();
-  if (predictor_ != nullptr && predictor_->ShouldReject(req)) {
-    CompleteEbusy(req);
-    return;
+  obs_.Touch(*req);
+  if (predictor_ != nullptr) {
+    const bool reject = predictor_->ShouldReject(req);
+    obs_.OnPredict(*req, reject);
+    if (reject) {
+      CompleteEbusy(req);
+      return;
+    }
   }
 
   std::vector<IoRequest*> victims;
@@ -153,9 +158,11 @@ void CfqScheduler::DispatchMore() {
     if (predictor_ != nullptr) {
       predictor_->OnDispatch(req);
     }
+    obs_.OnDispatch(*req);
     disk_->Submit(req);
     MaybeRemoveFromTree(proc);
   }
+  obs_.OnQueueDepth(pending_);
 }
 
 void CfqScheduler::OnDeviceCompletion(IoRequest* req) {
@@ -168,6 +175,7 @@ void CfqScheduler::OnDeviceCompletion(IoRequest* req) {
     predictor_->OnCompletion(*req, actual);
   }
   last_completion_ = sim_->Now();
+  obs_.OnServiceDone(*req);
   if (req->on_complete) {
     req->on_complete(*req, Status::Ok());
   }

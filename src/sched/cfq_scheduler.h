@@ -25,6 +25,7 @@
 
 #include "src/device/disk_model.h"
 #include "src/os/mitt_cfq.h"
+#include "src/sched/sched_obs.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/simulator.h"
 
@@ -74,6 +75,7 @@ class CfqScheduler : public IoScheduler {
   device::DiskModel* disk_;
   os::MittCfqPredictor* predictor_;
   CfqParams params_;
+  SchedObs obs_;
 
   std::unordered_map<int32_t, std::unique_ptr<ProcQueue>> procs_;
   std::list<ProcQueue*> trees_[3];  // Round-robin lists per service class.

@@ -14,6 +14,7 @@
 
 #include "src/common/status.h"
 #include "src/common/time.h"
+#include "src/obs/trace.h"
 
 namespace mitt::sched {
 
@@ -44,6 +45,12 @@ struct IoRequest {
 
   // --- MittOS SLO ---
   DurationNs deadline = kNoDeadline;
+
+  // --- Observability (src/obs/) ---
+  // The originating client request (id 0 for noise/background IOs) plus the
+  // node label; schedulers and devices record queue_wait / device_service /
+  // predict spans and per-node metrics against it.
+  obs::TraceContext trace;
 
   // --- Lifecycle timestamps (simulated time) ---
   TimeNs submit_time = 0;    // When the syscall entered the scheduler.

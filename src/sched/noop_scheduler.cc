@@ -6,22 +6,25 @@ namespace mitt::sched {
 
 NoopScheduler::NoopScheduler(sim::Simulator* sim, device::DiskModel* disk,
                              os::MittNoopPredictor* predictor)
-    : sim_(sim), disk_(disk), predictor_(predictor) {
+    : sim_(sim), disk_(disk), predictor_(predictor), obs_(sim) {
   disk_->set_completion_listener([this](IoRequest* req) { OnDeviceCompletion(req); });
   disk_->set_capacity_listener([this] { DispatchMore(); });
 }
 
 void NoopScheduler::Submit(IoRequest* req) {
   req->submit_time = sim_->Now();
-  if (predictor_ != nullptr && predictor_->ShouldReject(req)) {
-    // Fast rejection: the IO is never queued (§3.3 "the rejected request is
-    // not queued; it is automatically cancelled").
-    if (req->on_complete) {
-      req->on_complete(*req, Status::Ebusy());
-    }
-    return;
-  }
+  obs_.Touch(*req);
   if (predictor_ != nullptr) {
+    const bool reject = predictor_->ShouldReject(req);
+    obs_.OnPredict(*req, reject);
+    if (reject) {
+      // Fast rejection: the IO is never queued (§3.3 "the rejected request is
+      // not queued; it is automatically cancelled").
+      if (req->on_complete) {
+        req->on_complete(*req, Status::Ebusy());
+      }
+      return;
+    }
     predictor_->OnAccepted(*req);
   }
   dispatch_queue_.push_back(req);
@@ -32,8 +35,10 @@ void NoopScheduler::DispatchMore() {
   while (!dispatch_queue_.empty() && disk_->CanAccept()) {
     IoRequest* req = dispatch_queue_.front();
     dispatch_queue_.pop_front();
+    obs_.OnDispatch(*req);
     disk_->Submit(req);
   }
+  obs_.OnQueueDepth(dispatch_queue_.size());
 }
 
 void NoopScheduler::OnDeviceCompletion(IoRequest* req) {
@@ -46,6 +51,7 @@ void NoopScheduler::OnDeviceCompletion(IoRequest* req) {
     predictor_->OnCompletion(*req, actual);
   }
   last_completion_ = sim_->Now();
+  obs_.OnServiceDone(*req);
   if (req->on_complete) {
     req->on_complete(*req, Status::Ok());
   }

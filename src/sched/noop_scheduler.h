@@ -10,6 +10,7 @@
 
 #include "src/device/disk_model.h"
 #include "src/os/mitt_noop.h"
+#include "src/sched/sched_obs.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/simulator.h"
 
@@ -31,6 +32,7 @@ class NoopScheduler : public IoScheduler {
   sim::Simulator* sim_;
   device::DiskModel* disk_;
   os::MittNoopPredictor* predictor_;
+  SchedObs obs_;
   std::deque<IoRequest*> dispatch_queue_;
   TimeNs last_completion_ = 0;
 };

@@ -1,0 +1,89 @@
+// Scheduler-layer observability hooks (src/obs/), shared by NoopScheduler,
+// CfqScheduler and SsdBlockLayer.
+//
+// One scheduler instance serves exactly one machine, so the metric handles
+// are resolved lazily from the first submitted request's node label and then
+// cached; every method collapses to a couple of null checks when no tracer /
+// registry is attached to the simulator (and to nothing at all when the obs
+// subsystem is compiled out, because Simulator::tracer()/metrics() become
+// constant nullptr).
+
+#ifndef MITTOS_SCHED_SCHED_OBS_H_
+#define MITTOS_SCHED_SCHED_OBS_H_
+
+#include <cstddef>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sched/io_request.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::sched {
+
+class SchedObs {
+ public:
+  explicit SchedObs(sim::Simulator* sim) : sim_(sim) {}
+
+  // Resolve metric handles on first use. The registry is attached to the
+  // simulator before the world is built, but the node label only arrives
+  // with the first request.
+  void Touch(const IoRequest& req) {
+    if (resolved_) {
+      return;
+    }
+    resolved_ = true;
+    if (obs::MetricsRegistry* mx = sim_->metrics()) {
+      predictor_accept_ = &mx->counter("predictor_accept_total", req.trace.node);
+      predictor_reject_ = &mx->counter("predictor_reject_total", req.trace.node);
+      queue_depth_ = &mx->gauge("queue_depth", req.trace.node);
+    }
+  }
+
+  // An admission decision was made for a deadline-carrying IO.
+  void OnPredict(const IoRequest& req, bool rejected) {
+    if (!req.has_deadline()) {
+      return;
+    }
+    if (obs::Tracer* tr = sim_->tracer(); tr != nullptr && tr->enabled()) {
+      tr->RecordInstant(obs::SpanKind::kPredict, req.trace, req.submit_time);
+    }
+    obs::Counter* c = rejected ? predictor_reject_ : predictor_accept_;
+    if (c != nullptr) {
+      c->Add();
+    }
+  }
+
+  // The IO is leaving the scheduler queue for the device queue, at Now().
+  // Recorded for untraced (noise/background) IOs too: they are the
+  // contention a trace exists to show.
+  void OnDispatch(const IoRequest& req) {
+    if (obs::Tracer* tr = sim_->tracer(); tr != nullptr && tr->enabled()) {
+      tr->RecordSpan(obs::SpanKind::kQueueWait, req.trace, req.submit_time, sim_->Now());
+    }
+  }
+
+  // The device finished the IO at Now(); dispatch_time was stamped by the
+  // device model when it accepted the IO.
+  void OnServiceDone(const IoRequest& req) {
+    if (obs::Tracer* tr = sim_->tracer(); tr != nullptr && tr->enabled()) {
+      tr->RecordSpan(obs::SpanKind::kDeviceService, req.trace, req.dispatch_time, sim_->Now());
+    }
+  }
+
+  void OnQueueDepth(size_t depth) {
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<double>(depth));
+    }
+  }
+
+ private:
+  sim::Simulator* sim_;
+  bool resolved_ = false;
+  obs::Counter* predictor_accept_ = nullptr;
+  obs::Counter* predictor_reject_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+};
+
+}  // namespace mitt::sched
+
+#endif  // MITTOS_SCHED_SCHED_OBS_H_

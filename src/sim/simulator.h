@@ -30,6 +30,12 @@
 
 #include "src/common/inline_function.h"
 #include "src/common/time.h"
+#include "src/obs/gate.h"
+
+namespace mitt::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace mitt::obs
 
 namespace mitt::sim {
 
@@ -100,6 +106,34 @@ class Simulator {
 
   // Pool introspection (perf monitoring; see bench_simcore).
   size_t pool_capacity() const { return num_slots_; }
+
+  // --- Observability hooks (src/obs/) ---
+  //
+  // One tracer/metrics registry per simulator keeps tracing deterministic:
+  // each parallel trial owns its own simulator and therefore its own span
+  // buffer and counters, merged in trial order by the harness. Attach before
+  // building the world — instrumented layers cache their metric handles at
+  // construction or first use.
+  //
+  // The accessors compile to constant nullptr under MITT_OBS_DISABLED, so
+  // every `if (auto* t = sim->tracer())` recording site folds away; with obs
+  // compiled in but nothing attached, a site costs one null-check.
+  obs::Tracer* tracer() const {
+#if MITT_OBS_ENABLED
+    return tracer_;
+#else
+    return nullptr;
+#endif
+  }
+  obs::MetricsRegistry* metrics() const {
+#if MITT_OBS_ENABLED
+    return metrics_;
+#else
+    return nullptr;
+#endif
+  }
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
  private:
   static constexpr uint32_t kNoSlot = UINT32_MAX;
@@ -202,6 +236,9 @@ class Simulator {
 
   // Pops and executes the earliest event. Returns false if the queue is empty.
   bool Step();
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 
   TimeNs now_ = 0;
   uint64_t next_seq_ = 1;

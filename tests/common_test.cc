@@ -141,6 +141,53 @@ TEST(LatencyRecorderTest, Percentiles) {
               static_cast<double>(Millis(1)));
 }
 
+TEST(LatencyRecorderTest, BatchPercentilesMatchPerCallQueries) {
+  LatencyRecorder rec;
+  Rng rng(37);
+  for (int i = 0; i < 3000; ++i) {
+    rec.Record(rng.UniformInt(0, Millis(50)));
+  }
+  const std::vector<double> ps = {0, 0.1, 1, 25, 50, 90, 95, 99, 99.9, 100};
+  const std::vector<DurationNs> batch = rec.Percentiles(ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(batch[i], rec.Percentile(ps[i])) << "p" << ps[i];
+  }
+  // The batch result must track later Records, same as per-call queries.
+  rec.Record(Millis(500));
+  const double p100[] = {100.0};
+  EXPECT_EQ(rec.Percentiles(p100).front(), Millis(500));
+}
+
+TEST(LatencyRecorderTest, BatchPercentilesEmptyReturnsZeros) {
+  LatencyRecorder rec;
+  const std::vector<double> ps = {50, 95, 99};
+  const std::vector<DurationNs> batch = rec.Percentiles(ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (const DurationNs v : batch) {
+    EXPECT_EQ(v, 0);
+  }
+}
+
+TEST(LatencyRecorderTest, CdfSeriesTinyPointCounts) {
+  // Regression: points=1 used to return only the max, leaving the low end of
+  // the distribution unrepresented. The first point must cover the low end.
+  LatencyRecorder rec;
+  for (int i = 1; i <= 10; ++i) {
+    rec.Record(Millis(i));
+  }
+  const auto one = rec.CdfSeries(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].latency, Millis(1));  // The minimum, not the max.
+  EXPECT_DOUBLE_EQ(one[0].fraction, 0.1);
+  const auto two = rec.CdfSeries(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].latency, Millis(1));
+  EXPECT_DOUBLE_EQ(two[0].fraction, 0.1);
+  EXPECT_EQ(two[1].latency, Millis(10));
+  EXPECT_DOUBLE_EQ(two[1].fraction, 1.0);
+}
+
 TEST(LatencyRecorderTest, EmptyIsSafe) {
   LatencyRecorder rec;
   EXPECT_EQ(rec.Percentile(95), 0);

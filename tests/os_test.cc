@@ -3,6 +3,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/os/os.h"
 #include "src/sim/simulator.h"
 
@@ -268,6 +270,62 @@ TEST_F(OsTest, ReadWithWaitHintReportsQueueDelay) {
   sim_.RunUntilPredicate([&] { return got; });
   EXPECT_TRUE(result.busy());
   EXPECT_GT(hint, Millis(20));  // The predicted wait that triggered EBUSY.
+  sim_.Run();
+}
+
+TEST_F(OsTest, EbusyHintMatchesPredictorAndIsObservedOnce) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  sim_.set_tracer(&tracer);
+  sim_.set_metrics(&metrics);
+  Os os(&sim_, BaseOptions(BackendKind::kDiskCfq));
+  const uint64_t file = os.CreateFile(100LL << 30);
+  for (int i = 0; i < 40; ++i) {
+    Os::ReadArgs noise;
+    noise.file = file;
+    noise.offset = static_cast<int64_t>(i) * (1LL << 30);
+    noise.size = 1 << 20;
+    noise.pid = 99;
+    noise.bypass_cache = true;
+    os.Read(noise, nullptr);
+  }
+  // The hint handed back with EBUSY must be the predictor's wait estimate at
+  // submission time, not a post-hoc number: capture it just before the call.
+  const DurationNs expected_wait =
+      os.mitt_cfq()->PredictedWaitNow(/*pid=*/1, sched::IoClass::kBestEffort);
+  Status result = Status::Internal();
+  DurationNs hint = -1;
+  bool got = false;
+  Os::ReadArgs args;
+  args.file = file;
+  args.offset = 50LL << 30;
+  args.size = 4096;
+  args.deadline = Millis(20);
+  args.pid = 1;
+  args.trace = {tracer.NewRequestId(), /*node=*/-1};
+  os.ReadWithWaitHint(args, [&](Status s, DurationNs h) {
+    result = s;
+    hint = h;
+    got = true;
+  });
+  sim_.RunUntilPredicate([&] { return got; });
+  ASSERT_TRUE(result.busy());
+  EXPECT_EQ(hint, expected_wait);
+  EXPECT_GT(hint, Millis(20));
+#if MITT_OBS_ENABLED
+  // Exactly one rejection: one ebusy_reject span, one ebusy_total increment.
+  // (Boot profiling and the noise reads carry no deadline, so nothing else
+  // can reject.)
+  int reject_spans = 0;
+  for (const obs::SpanRecord& span : tracer.OrderedSpans()) {
+    if (span.kind == obs::SpanKind::kEbusyReject) {
+      ++reject_spans;
+      EXPECT_EQ(span.request_id, args.trace.id);
+    }
+  }
+  EXPECT_EQ(reject_spans, 1);
+  EXPECT_EQ(metrics.CounterValue("ebusy_total", -1), 1u);
+#endif
   sim_.Run();
 }
 
