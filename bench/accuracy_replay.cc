@@ -12,6 +12,27 @@ namespace {
 // Replays the trace against a fresh Os. If `deadline` > 0 it is attached to
 // every read (writes go through sync so they contend at the device). Returns
 // the read-latency recorder; `out_os` receives the Os for stats readout.
+// Degrading-media ramp: service times climb to `multiplier`x in 8 steps.
+// The predictor's profile was learned healthy, so its error grows with the
+// ramp — organic, not injected.
+void ScheduleFailSlowRamp(sim::Simulator* sim, os::Os* target, const AccuracyOptions& options) {
+  constexpr int kSteps = 8;
+  for (int s = 1; s <= kSteps; ++s) {
+    const double m = 1.0 + (options.fail_slow_multiplier - 1.0) * s / kSteps;
+    sim->ScheduleAt(options.fail_slow_start + options.fail_slow_ramp * s / kSteps,
+                    [target, m] {
+                      if (target->disk() != nullptr) {
+                        target->disk()->set_service_time_multiplier(m);
+                      }
+                      if (target->ssd() != nullptr) {
+                        for (int c = 0; c < target->ssd()->num_chips(); ++c) {
+                          target->ssd()->set_chip_read_multiplier(c, m);
+                        }
+                      }
+                    });
+  }
+}
+
 LatencyRecorder Replay(const workload::TraceProfile& profile, const AccuracyOptions& options,
                        DurationNs deadline, bool accuracy_mode,
                        std::unique_ptr<os::Os>* out_os, sim::Simulator* sim) {
@@ -31,6 +52,10 @@ LatencyRecorder Replay(const workload::TraceProfile& profile, const AccuracyOpti
   auto trace = workload::GenerateTrace(profile, Seconds(600), options.seed ^ 0x7ACE);
   if (trace.size() > options.max_ios) {
     trace.resize(options.max_ios);
+  }
+
+  if (accuracy_mode && options.fail_slow_multiplier != 1.0) {
+    ScheduleFailSlowRamp(sim, target.get(), options);
   }
 
   auto latencies = std::make_shared<LatencyRecorder>();

@@ -38,6 +38,17 @@ struct AccuracyOptions {
   os::MittSsdOptions mitt_ssd;
   bool calibrate = true;
   uint64_t seed = 5;
+
+  // Fail-slow degradation (src/fault/ semantics on a bare Os), applied in
+  // the accuracy pass only: the deadline is learned on the healthy device,
+  // then the media ramps to `fail_slow_multiplier`x service time (8 steps
+  // over `fail_slow_ramp`, starting at `fail_slow_start`) while the
+  // predictor keeps its healthy profile. The resulting false negatives are
+  // *organic* prediction error — the model is stale, not perturbed (contrast
+  // Fig. 10's injected error).
+  double fail_slow_multiplier = 1.0;  // 1.0 = healthy replay.
+  TimeNs fail_slow_start = 0;
+  DurationNs fail_slow_ramp = Millis(500);
 };
 
 // Replays `profile` twice: once without deadlines to learn the p95, then in

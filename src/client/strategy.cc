@@ -17,15 +17,19 @@ void GetStrategy::SendGetWithHint(int node, uint64_t key, DurationNs deadline,
                                   obs::TraceContext trace) {
   cluster::Network& net = cluster_->network();
   cluster::Cluster* cluster = cluster_;
-  net.Deliver([cluster, node, key, deadline, trace, on_reply = std::move(on_reply)]() mutable {
-    cluster->node(node).HandleGetWithHint(
-        key, deadline,
-        [cluster, on_reply = std::move(on_reply)](Status status, DurationNs hint) mutable {
-          cluster->network().Deliver(
-              [on_reply = std::move(on_reply), status, hint] { on_reply(status, hint); });
-        },
-        trace);
-  });
+  // Both hops are tagged with the storage-node endpoint so per-link faults
+  // (src/fault/) hit requests to / replies from that node.
+  net.Deliver(node,
+              [cluster, node, key, deadline, trace, on_reply = std::move(on_reply)]() mutable {
+                cluster->node(node).HandleGetWithHint(
+                    key, deadline,
+                    [cluster, node, on_reply = std::move(on_reply)](Status status,
+                                                                   DurationNs hint) mutable {
+                      cluster->network().Deliver(node, [on_reply = std::move(on_reply), status,
+                                                        hint] { on_reply(status, hint); });
+                    },
+                    trace);
+              });
 }
 
 obs::TraceContext GetStrategy::BeginTrace() {

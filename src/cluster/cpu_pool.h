@@ -3,13 +3,21 @@
 // request-handler threads are runnable than there are hardware threads
 // (12 threads on an 8-thread machine), handler bursts queue and the extra
 // wait shows up as a latency tail.
+//
+// Job completions are common::InlineFunction (48-byte SBO, move-only): the
+// Execute->fire path allocates only when a capture outgrows the inline
+// buffer, extending the PR-1 alloc-free hot path through the cluster layer.
+//
+// Fault injection (src/fault/): PauseFor models a stop-the-world event (GC,
+// hypervisor freeze) — bursts already on a core finish, but no queued or
+// newly arriving burst starts until the pause lifts.
 
 #ifndef MITTOS_CLUSTER_CPU_POOL_H_
 #define MITTOS_CLUSTER_CPU_POOL_H_
 
 #include <deque>
-#include <functional>
 
+#include "src/common/inline_function.h"
 #include "src/common/time.h"
 #include "src/sim/simulator.h"
 
@@ -17,27 +25,39 @@ namespace mitt::cluster {
 
 class CpuPool {
  public:
+  using DoneFn = InlineFunction<void()>;
+
   CpuPool(sim::Simulator* sim, int cores);
 
   // Consumes `work` of CPU, then calls `done`. Zero work calls back on the
   // next event (still through the queue, preserving FIFO fairness).
-  void Execute(DurationNs work, std::function<void()> done);
+  void Execute(DurationNs work, DoneFn done);
+
+  // Stop-the-world pause until Now() + duration (overlapping pauses extend
+  // to the furthest end). Queued jobs keep their FIFO order and start when
+  // the pause lifts.
+  void PauseFor(DurationNs duration);
+  bool paused() const { return sim_->Now() < paused_until_; }
 
   int active() const { return active_; }
   int cores() const { return cores_; }
   size_t queued() const { return queue_.size(); }
+  uint64_t pauses() const { return pauses_; }
 
  private:
   struct Job {
     DurationNs work;
-    std::function<void()> done;
+    DoneFn done;
   };
 
   void StartNext();
+  void OnResume();
 
   sim::Simulator* sim_;
   int cores_;
   int active_ = 0;
+  TimeNs paused_until_ = 0;
+  uint64_t pauses_ = 0;
   std::deque<Job> queue_;
 };
 

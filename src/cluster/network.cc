@@ -1,14 +1,87 @@
 #include "src/cluster/network.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace mitt::cluster {
 
 Network::Network(sim::Simulator* sim, const NetworkParams& params, uint64_t seed)
     : sim_(sim), params_(params), rng_(seed) {}
 
-void Network::Deliver(std::function<void()> fn) {
+DurationNs Network::SampleHop(int peer) {
   const DurationNs jitter =
       params_.jitter > 0 ? rng_.UniformInt(-params_.jitter, params_.jitter) : 0;
-  sim_->Schedule(params_.one_way + jitter, std::move(fn));
+  double multiplier = fabric_delay_multiplier_;
+  if (peer != kNoPeer) {
+    if (const auto it = link_faults_.find(peer); it != link_faults_.end()) {
+      multiplier *= it->second.delay_multiplier;
+    }
+  }
+  return static_cast<DurationNs>(static_cast<double>(params_.one_way + jitter) * multiplier);
+}
+
+void Network::Deliver(int peer, DeliverFn fn) {
+  if (peer != kNoPeer) {
+    if (const auto it = link_faults_.find(peer);
+        it != link_faults_.end() && it->second.partitioned) {
+      it->second.held.push_back(std::move(fn));
+      ++messages_deferred_;
+      return;
+    }
+  }
+  DurationNs hop = SampleHop(peer);
+  double drop_prob = fabric_drop_probability_;
+  if (peer != kNoPeer) {
+    if (const auto it = link_faults_.find(peer); it != link_faults_.end()) {
+      drop_prob = std::max(drop_prob, it->second.drop_probability);
+    }
+  }
+  if (drop_prob > 0.0 && rng_.Bernoulli(drop_prob)) {
+    // Lost on the wire; the transport retransmits after its timeout.
+    hop += params_.retransmit_timeout;
+    ++messages_dropped_;
+  }
+  ++messages_delivered_;
+  sim_->Schedule(hop, std::move(fn));
+}
+
+void Network::SetLinkDelayMultiplier(int peer, double multiplier) {
+  if (peer < 0) {
+    fabric_delay_multiplier_ = multiplier;
+    return;
+  }
+  link_faults_[peer].delay_multiplier = multiplier;
+}
+
+void Network::SetLinkDropProbability(int peer, double probability) {
+  if (peer < 0) {
+    fabric_drop_probability_ = probability;
+    return;
+  }
+  link_faults_[peer].drop_probability = probability;
+}
+
+void Network::SetLinkPartitioned(int peer, bool partitioned) {
+  LinkFault& fault = link_faults_[peer];
+  if (fault.partitioned == partitioned) {
+    return;
+  }
+  fault.partitioned = partitioned;
+  if (partitioned) {
+    return;
+  }
+  // Heal: flush held messages in arrival order, each over a fresh hop.
+  std::vector<DeliverFn> held = std::move(fault.held);
+  fault.held.clear();
+  for (DeliverFn& fn : held) {
+    ++messages_delivered_;
+    sim_->Schedule(SampleHop(peer), std::move(fn));
+  }
+}
+
+bool Network::LinkPartitioned(int peer) const {
+  const auto it = link_faults_.find(peer);
+  return it != link_faults_.end() && it->second.partitioned;
 }
 
 }  // namespace mitt::cluster

@@ -1,12 +1,30 @@
 // Point-to-point datacenter network model. The paper's testbed and EC2 both
 // show ~0.3 ms for a failover hop (§3.3); we model a one-way message latency
 // of ~150 us with small jitter, so a request/reply round trip is ~0.3 ms.
+//
+// Fault injection (src/fault/): deliveries are tagged with the node endpoint
+// they enter or leave (`peer`), so per-link faults can be applied —
+//  * delay multipliers (congested / degraded links),
+//  * probabilistic loss, modeled as lost-then-retransmitted: the message is
+//    redelivered one retransmit timeout later, so application timeout and
+//    hedging paths trigger while closed request loops stay live,
+//  * transient partitions: messages are held and delivered (fresh hop each)
+//    when the partition heals.
+// All fault randomness comes from the network's own seeded RNG, keeping runs
+// bit-identical at any MITT_TRIAL_WORKERS setting.
+//
+// Delivery closures are common::InlineFunction (48-byte SBO, move-only), so
+// the per-hop schedule path allocates only when a capture outgrows the
+// inline buffer — the PR-1 alloc-free hot path extended through the cluster
+// layer.
 
 #ifndef MITTOS_CLUSTER_NETWORK_H_
 #define MITTOS_CLUSTER_NETWORK_H_
 
-#include <functional>
+#include <unordered_map>
+#include <vector>
 
+#include "src/common/inline_function.h"
 #include "src/common/rng.h"
 #include "src/common/time.h"
 #include "src/sim/simulator.h"
@@ -16,22 +34,61 @@ namespace mitt::cluster {
 struct NetworkParams {
   DurationNs one_way = Micros(150);
   DurationNs jitter = Micros(15);  // Uniform +/- jitter.
+  // Retransmit timeout for messages lost to kNetworkDrop faults.
+  DurationNs retransmit_timeout = Millis(200);
 };
 
 class Network {
  public:
+  // Deliveries not tied to a node endpoint (client-to-client control
+  // traffic); only fabric-wide faults apply to them.
+  static constexpr int kNoPeer = -1;
+
+  using DeliverFn = InlineFunction<void()>;
+
   Network(sim::Simulator* sim, const NetworkParams& params, uint64_t seed);
 
-  // Delivers `fn` after one network hop.
-  void Deliver(std::function<void()> fn);
+  // Delivers `fn` after one network hop; `peer` is the node endpoint the
+  // message enters or leaves (for per-link fault application).
+  void Deliver(DeliverFn fn) { Deliver(kNoPeer, std::move(fn)); }
+  void Deliver(int peer, DeliverFn fn);
 
   DurationNs round_trip_estimate() const { return 2 * params_.one_way; }
   const NetworkParams& params() const { return params_; }
 
+  // --- Fault hooks (src/fault/) ---
+  // `peer` < 0 targets the whole fabric; multipliers/probabilities reset to
+  // the healthy values (1.0 / 0.0) when the episode ends.
+  void SetLinkDelayMultiplier(int peer, double multiplier);
+  void SetLinkDropProbability(int peer, double probability);
+  // Entering a partition holds subsequent deliveries; leaving it flushes the
+  // held messages in arrival order, each with a fresh network hop.
+  void SetLinkPartitioned(int peer, bool partitioned);
+  bool LinkPartitioned(int peer) const;
+
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }   // Retransmitted.
+  uint64_t messages_deferred() const { return messages_deferred_; }  // Partition-held.
+
  private:
+  struct LinkFault {
+    double delay_multiplier = 1.0;
+    double drop_probability = 0.0;
+    bool partitioned = false;
+    std::vector<DeliverFn> held;  // Messages awaiting partition heal.
+  };
+
+  DurationNs SampleHop(int peer);
+
   sim::Simulator* sim_;
   NetworkParams params_;
   Rng rng_;
+  double fabric_delay_multiplier_ = 1.0;
+  double fabric_drop_probability_ = 0.0;
+  std::unordered_map<int, LinkFault> link_faults_;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t messages_deferred_ = 0;
 };
 
 }  // namespace mitt::cluster

@@ -43,8 +43,8 @@ DurationNs DiskModel::SampledServiceTime(int64_t from_offset, const sched::IoReq
   const DurationNs rotation =
       static_cast<DurationNs>(rng_.NextDouble() * static_cast<double>(params_.rotational_max));
   const double jitter = rng_.Uniform(1.0 - params_.jitter, 1.0 + params_.jitter);
-  const double total =
-      static_cast<double>(SeekCost(from_offset, io.offset) + rotation + transfer) * jitter;
+  const double total = static_cast<double>(SeekCost(from_offset, io.offset) + rotation + transfer) *
+                       jitter * service_multiplier_;
   return static_cast<DurationNs>(total);
 }
 

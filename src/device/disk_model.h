@@ -106,6 +106,15 @@ class DiskModel {
   int64_t head_position() const { return head_pos_; }
   const DiskParams& params() const { return params_; }
 
+  // --- Fail-slow injection (src/fault/) ---
+  // Multiplies the *actual* mechanical service time of every IO started while
+  // set (sampled at service start, so an in-flight IO keeps its time).
+  // ExpectedServiceTime is deliberately NOT scaled: it is the healthy model
+  // the profiler learned, so a degrading device drifts away from its
+  // predictor exactly the way a real fail-slow disk does.
+  void set_service_time_multiplier(double m) { service_multiplier_ = m; }
+  double service_time_multiplier() const { return service_multiplier_; }
+
   // Total IOs completed (including destages), for tests.
   uint64_t completed_count() const { return completed_; }
 
@@ -127,6 +136,7 @@ class DiskModel {
   std::deque<sched::IoRequest*> queue_;
   sched::IoRequest* in_service_ = nullptr;
   TimeNs in_service_done_ = 0;
+  double service_multiplier_ = 1.0;
   int64_t head_pos_ = 0;
   uint64_t completed_ = 0;
   uint64_t destage_seq_ = 0;

@@ -63,7 +63,9 @@ DurationNs SsdModel::MediaTime(const SubIo& sub) {
   DurationNs base = 0;
   switch (sub.op) {
     case sched::IoOp::kRead:
-      base = params_.chip_read;
+      base = static_cast<DurationNs>(
+          static_cast<double>(params_.chip_read) *
+          chips_[static_cast<size_t>(ChipOfPage(sub.logical_page))].read_multiplier);
       break;
     case sched::IoOp::kWrite:
       base = IsSlowPage(sub.logical_page) ? params_.program_slow : params_.program_fast;

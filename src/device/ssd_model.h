@@ -80,6 +80,18 @@ class SsdModel {
   bool ChipBusy(int chip) const { return chips_[chip].busy; }
   size_t ChannelOutstanding(int channel) const { return channels_[channel].outstanding; }
 
+  // --- Read-retry storm injection (src/fault/) ---
+  // Media reads on `chip` take `m`x their profiled time (firmware re-reading
+  // a marginal page with shifted reference voltages). Applied at media start,
+  // chip-local — programs, erases, and other chips are unaffected, and the
+  // MittSSD predictor's shadow model keeps assuming the healthy read time.
+  void set_chip_read_multiplier(int chip, double m) {
+    chips_[static_cast<size_t>(chip)].read_multiplier = m;
+  }
+  double chip_read_multiplier(int chip) const {
+    return chips_[static_cast<size_t>(chip)].read_multiplier;
+  }
+
   uint64_t completed_count() const { return completed_; }
 
  private:
@@ -93,6 +105,7 @@ class SsdModel {
   struct Chip {
     std::deque<SubIo> queue;
     bool busy = false;
+    double read_multiplier = 1.0;  // Fail-slow media (read-retry storms).
   };
 
   struct Channel {

@@ -1,0 +1,70 @@
+// FaultInjector: replays a FaultPlan against a live cluster.
+//
+// Start() schedules one daemon begin event per episode (daemon so an idle
+// fault schedule never keeps Simulator::Run() alive after the workload
+// drains); each begin applies the fault through the target layer's injection
+// hook and schedules the matching clear. Fail-slow disks degrade through an
+// 8-step ramp across the first quarter of the episode — media ages, it does
+// not flip a switch — which is what makes the predictor's profiled model go
+// stale *gradually* (organic prediction error, vs the artificially injected
+// error of Fig. 10).
+//
+// Every activation is logged as an AppliedEpisode (ground truth for the
+// 1-vs-N-worker determinism check), emitted as a `fault_active` span into the
+// trial's obs ring, and counted in the `fault_episodes_total` metric.
+
+#ifndef MITTOS_FAULT_INJECTOR_H_
+#define MITTOS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/fault/fault_plan.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator* sim, cluster::Cluster* cluster, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules every episode (as daemon events). Call once, before Run().
+  void Start();
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Episodes fully applied (begin + clear), in clear order. Bit-identical
+  // across MITT_TRIAL_WORKERS settings for the same plan and world.
+  const std::vector<AppliedEpisode>& applied() const { return applied_; }
+
+  uint64_t episodes_begun() const { return episodes_begun_; }
+  // Episodes that target a hook absent from this world (e.g. a disk fault on
+  // an SSD-backed node) or an out-of-range node.
+  uint64_t episodes_skipped() const { return episodes_skipped_; }
+
+ private:
+  static constexpr int kRampSteps = 8;
+
+  void Begin(size_t index);
+  void End(size_t index, TimeNs actual_start);
+  // True if the episode's target exists in this world.
+  bool Applicable(const FaultEpisode& episode) const;
+  void ApplyDiskMultiplier(const FaultEpisode& episode, double multiplier);
+  void ApplySsdMultiplier(const FaultEpisode& episode, double multiplier);
+
+  sim::Simulator* sim_;
+  cluster::Cluster* cluster_;
+  FaultPlan plan_;
+  std::vector<AppliedEpisode> applied_;
+  uint64_t episodes_begun_ = 0;
+  uint64_t episodes_skipped_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace mitt::fault
+
+#endif  // MITTOS_FAULT_INJECTOR_H_

@@ -14,6 +14,7 @@
 #include "src/client/mittos_client.h"
 #include "src/client/timeout.h"
 #include "src/common/table.h"
+#include "src/fault/injector.h"
 #include "src/noise/noise_injector.h"
 #include "src/workload/macro_workload.h"
 
@@ -350,6 +351,13 @@ RunResult Experiment::Run(StrategyKind kind) {
       break;
   }
 
+  // --- Faults (same plan replayed for every strategy) ---
+  std::unique_ptr<fault::FaultInjector> faults;
+  if (!options_.fault_plan.empty()) {
+    faults = std::make_unique<fault::FaultInjector>(&sim, &cluster, options_.fault_plan);
+    faults->Start();
+  }
+
   // --- Strategy & clients ---
   auto strategy = MakeStrategy(kind, &sim, &cluster);
   RunResult result;
@@ -435,6 +443,11 @@ RunResult Experiment::Run(StrategyKind kind) {
     result.noise_ios += injector->ios_issued();
   }
   result.sim_duration = sim.Now();
+  if (faults != nullptr) {
+    result.fault_log = faults->applied();
+    result.fault_episodes = faults->episodes_begun();
+    result.fault_skipped = faults->episodes_skipped();
+  }
   CollectCounters(kind, *strategy, &result);
   if (tracer != nullptr) {
     result.trace_spans = tracer->OrderedSpans();

@@ -23,6 +23,7 @@
 #include "src/client/strategy.h"
 #include "src/cluster/cluster.h"
 #include "src/common/latency_recorder.h"
+#include "src/fault/fault_plan.h"
 #include "src/kv/doc_store_node.h"
 #include "src/noise/ec2_noise.h"
 #include "src/obs/metrics.h"
@@ -109,6 +110,10 @@ struct ExperimentOptions {
   DurationNs rotate_period = Seconds(1);
   TimeNs noise_horizon = Seconds(120);
 
+  // Faults (src/fault/). An empty plan injects nothing. Like noise, the same
+  // plan replays identically for every strategy so CDFs stay comparable.
+  fault::FaultPlan fault_plan;
+
   uint64_t seed = 42;
 };
 
@@ -123,6 +128,12 @@ struct RunResult {
   uint64_t user_errors = 0;  // Timeout surfaced to the user (no failover).
   uint64_t noise_ios = 0;    // IOs the noise injectors issued during the run.
   TimeNs sim_duration = 0;
+
+  // Fault harvest (src/fault/): episodes fully applied during the run, in
+  // clear order — the determinism check compares these across worker counts.
+  std::vector<fault::AppliedEpisode> fault_log;
+  uint64_t fault_episodes = 0;
+  uint64_t fault_skipped = 0;
 
   // Observability harvest (src/obs/): the run's metrics registry, plus — for
   // traced runs — the span buffer oldest-to-newest. Trial-order merging keeps

@@ -28,6 +28,16 @@ void DocStoreNode::WarmCache(double fraction) {
   }
 }
 
+void DocStoreNode::Pause(DurationNs duration) { cpu_->PauseFor(duration); }
+
+void DocStoreNode::CrashRestart(DurationNs downtime) {
+  ++crashes_;
+  // The process image is gone: restart with a cold page cache, and stall all
+  // request handling for the downtime.
+  os_->DropCachedFraction(1.0);
+  cpu_->PauseFor(downtime);
+}
+
 void DocStoreNode::HandleGet(uint64_t key, DurationNs deadline,
                              std::function<void(Status)> reply, obs::TraceContext trace) {
   HandleGetWithHint(

@@ -77,6 +77,19 @@ class DocStoreNode {
   // Pre-loads a fraction of the documents into the OS cache.
   void WarmCache(double fraction);
 
+  // --- Fault hooks (src/fault/) ---
+  // Stop-the-world pause (language-runtime GC, hypervisor freeze): no handler
+  // burst starts until the pause lifts. In-flight device IO keeps completing,
+  // but its reply serialization queues behind the pause, so clients see the
+  // full stall — exactly the failure MittOS's EBUSY cannot predict and the
+  // failover path must absorb.
+  void Pause(DurationNs duration);
+  // Process crash + restart: down for `downtime` (requests stall as in Pause),
+  // then back with a cold page cache — the post-restart miss storm is the
+  // interesting part.
+  void CrashRestart(DurationNs downtime);
+  uint64_t crashes() const { return crashes_; }
+
   int node_id() const { return node_id_; }
   os::Os& os() { return *os_; }
   cluster::CpuPool& cpu() { return *cpu_; }
@@ -104,6 +117,7 @@ class DocStoreNode {
   uint64_t data_file_ = 0;
   uint64_t gets_served_ = 0;
   uint64_t ebusy_returned_ = 0;
+  uint64_t crashes_ = 0;
 };
 
 }  // namespace mitt::kv

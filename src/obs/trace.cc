@@ -18,6 +18,8 @@ std::string_view SpanKindName(SpanKind kind) {
       return "ebusy_reject";
     case SpanKind::kFailover:
       return "failover";
+    case SpanKind::kFaultActive:
+      return "fault_active";
   }
   return "?";
 }

@@ -55,6 +55,7 @@ enum class SpanKind : uint8_t {
   kDeviceService,  // Device dispatch -> completion.
   kEbusyReject,    // Fast rejection (instant).
   kFailover,       // Client-side failover hop (instant).
+  kFaultActive,    // src/fault/ episode window [inject, clear] on a node.
 };
 
 std::string_view SpanKindName(SpanKind kind);

@@ -23,10 +23,21 @@ CfqScheduler::ProcQueue& CfqScheduler::GetProc(const IoRequest& req) {
     proc->pid = req.pid;
     it = procs_.emplace(req.pid, std::move(proc)).first;
   }
-  // ionice can change a process' class/priority at any time; refresh.
-  it->second->io_class = req.io_class;
-  it->second->priority = req.priority;
-  return *it->second;
+  // ionice can change a process' class/priority at any time; refresh. A
+  // class change must move the queue between round-robin trees, or it is
+  // stranded in the old tree with in_rr out of sync and the dispatch loop
+  // can select it forever without ever draining it.
+  ProcQueue* proc = it->second.get();
+  if (proc->in_rr && proc->io_class != req.io_class) {
+    trees_[ClassRank(proc->io_class)].remove(proc);
+    proc->in_rr = false;  // EnsureInTree re-files it under the new class.
+    if (active_ == proc) {
+      active_ = nullptr;
+    }
+  }
+  proc->io_class = req.io_class;
+  proc->priority = req.priority;
+  return *proc;
 }
 
 void CfqScheduler::EnsureInTree(ProcQueue* proc) {

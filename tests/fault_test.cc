@@ -1,0 +1,323 @@
+// mitt::fault tests: plan construction and chaos generation (seeded,
+// replayable), the injector's application/skip/logging behavior, the
+// CpuPool and Network fault hooks it drives, and the subsystem's core
+// promise — a fault-laden scenario is bit-identical at any worker count.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/cpu_pool.h"
+#include "src/cluster/network.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/injector.h"
+#include "src/harness/experiment.h"
+#include "src/obs/trace.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::fault {
+namespace {
+
+auto EpisodeKey(const FaultEpisode& e) {
+  return std::make_tuple(e.kind, e.node, e.start, e.duration, e.severity, e.chip);
+}
+
+// ---------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlanTest, BuildSortsEpisodesIntoDeliveryOrder) {
+  FaultPlanBuilder b;
+  b.NodePause(/*node=*/2, /*start=*/Millis(50), /*duration=*/Millis(10));
+  b.FailSlowDisk(/*node=*/0, /*start=*/Millis(10), /*duration=*/Millis(30), 4.0);
+  b.NetworkDegrade(/*node=*/1, /*start=*/Millis(10), /*duration=*/Millis(5), 8.0);
+  const FaultPlan plan = b.Build();
+  ASSERT_EQ(plan.size(), 3u);
+  for (size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan.episodes()[i - 1].start, plan.episodes()[i].start);
+  }
+  EXPECT_EQ(plan.episodes().back().kind, FaultKind::kNodePause);
+}
+
+TEST(FaultPlanTest, RepeatEpisodesIsSeededAndNonOverlapping) {
+  const auto make = [](uint64_t seed) {
+    FaultPlanBuilder b;
+    b.RepeatEpisodes(FaultKind::kNodePause, /*node=*/0, /*horizon=*/Seconds(30),
+                     /*mean_gap=*/Millis(500), /*min_on=*/Millis(50), /*max_on=*/Millis(200),
+                     /*severity=*/1.0, seed);
+    return b.Build();
+  };
+  const FaultPlan a = make(7);
+  const FaultPlan b = make(7);
+  const FaultPlan c = make(8);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 3u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(EpisodeKey(a.episodes()[i]), EpisodeKey(b.episodes()[i]));
+    EXPECT_GE(a.episodes()[i].duration, Millis(50));
+    EXPECT_LE(a.episodes()[i].duration, Millis(200));
+    EXPECT_LT(a.episodes()[i].start, Seconds(30));
+    if (i > 0) {
+      // Quiet gap between consecutive episodes of one (kind, node) stream.
+      EXPECT_GE(a.episodes()[i].start, a.episodes()[i - 1].end());
+    }
+  }
+  // A different seed must produce a different schedule.
+  bool differs = c.size() != a.size();
+  for (size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = EpisodeKey(a.episodes()[i]) != EpisodeKey(c.episodes()[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlanTest, ChaosPlanDeterministicAndRespectsToggles) {
+  ChaosOptions opt;
+  opt.fail_slow_disk = true;
+  opt.node_pause = true;
+  opt.network_degrade = false;
+  opt.node_crash = false;
+  opt.ssd_read_retry = false;
+  opt.network_partition = false;
+  opt.mean_gap = Seconds(2);
+  const FaultPlan a = GenerateChaosPlan(opt, /*num_nodes=*/4, /*horizon=*/Seconds(20), 11);
+  const FaultPlan b = GenerateChaosPlan(opt, 4, Seconds(20), 11);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(EpisodeKey(a.episodes()[i]), EpisodeKey(b.episodes()[i]));
+    const FaultKind kind = a.episodes()[i].kind;
+    EXPECT_TRUE(kind == FaultKind::kFailSlowDisk || kind == FaultKind::kNodePause)
+        << FaultKindName(kind);
+    EXPECT_GE(a.episodes()[i].node, 0);
+    EXPECT_LT(a.episodes()[i].node, 4);
+    EXPECT_LT(a.episodes()[i].start, Seconds(20));
+  }
+}
+
+// ----------------------------------------------------------------- CpuPool
+
+TEST(CpuPoolFaultTest, PauseDefersQueuedAndArrivingJobs) {
+  sim::Simulator sim;
+  cluster::CpuPool cpu(&sim, 1);
+  std::vector<TimeNs> done;
+  cpu.PauseFor(Millis(10));
+  EXPECT_TRUE(cpu.paused());
+  cpu.Execute(Micros(100), [&] { done.push_back(sim.Now()); });
+  sim.Schedule(Millis(5), [&] { cpu.Execute(Micros(100), [&] { done.push_back(sim.Now()); }); });
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], Millis(10) + Micros(100));  // FIFO order survives the pause.
+  EXPECT_EQ(done[1], Millis(10) + Micros(200));
+  EXPECT_FALSE(cpu.paused());
+  EXPECT_EQ(cpu.pauses(), 1u);
+}
+
+TEST(CpuPoolFaultTest, OverlappingPausesExtendToFurthestEnd) {
+  sim::Simulator sim;
+  cluster::CpuPool cpu(&sim, 1);
+  TimeNs done = -1;
+  cpu.PauseFor(Millis(10));
+  sim.Schedule(Millis(4), [&] { cpu.PauseFor(Millis(10)); });  // Until 14ms.
+  sim.Schedule(Millis(6), [&] { cpu.PauseFor(Millis(1)); });   // Shorter: no-op.
+  cpu.Execute(0, [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done, Millis(14));
+  EXPECT_EQ(cpu.pauses(), 2u);  // The subsumed pause does not count.
+}
+
+TEST(CpuPoolFaultTest, InFlightBurstFinishesDuringPause) {
+  sim::Simulator sim;
+  cluster::CpuPool cpu(&sim, 1);
+  std::vector<TimeNs> done;
+  cpu.Execute(Millis(2), [&] { done.push_back(sim.Now()); });  // On core at t=0.
+  cpu.Execute(Millis(1), [&] { done.push_back(sim.Now()); });  // Queued.
+  sim.Schedule(Millis(1), [&] { cpu.PauseFor(Millis(9)); });   // Mid-burst pause.
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], Millis(2));   // Stop-the-world does not preempt the core...
+  EXPECT_EQ(done[1], Millis(11));  // ...but the next burst waits for the resume.
+}
+
+// ----------------------------------------------------------------- Network
+
+TEST(NetworkFaultTest, DelayMultiplierStretchesOneLink) {
+  sim::Simulator sim;
+  cluster::NetworkParams params;
+  params.jitter = 0;
+  cluster::Network net(&sim, params, 5);
+  net.SetLinkDelayMultiplier(/*peer=*/0, 10.0);
+  TimeNs slow = -1, fast = -1;
+  net.Deliver(0, [&]() mutable { slow = sim.Now(); });
+  net.Deliver(1, [&]() mutable { fast = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(fast, params.one_way);
+  EXPECT_EQ(slow, 10 * params.one_way);
+  net.SetLinkDelayMultiplier(0, 1.0);  // Heal.
+  TimeNs healed = -1;
+  const TimeNs base = sim.Now();
+  net.Deliver(0, [&]() mutable { healed = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(healed - base, params.one_way);
+}
+
+TEST(NetworkFaultTest, DropIsLostThenRetransmitted) {
+  sim::Simulator sim;
+  cluster::NetworkParams params;
+  params.jitter = 0;
+  cluster::Network net(&sim, params, 5);
+  net.SetLinkDropProbability(/*peer=*/2, 1.0);
+  TimeNs delivered = -1;
+  net.Deliver(2, [&]() mutable { delivered = sim.Now(); });
+  sim.Run();
+  // Lost, then redelivered one retransmit timeout later — never vanished.
+  EXPECT_EQ(delivered, params.one_way + params.retransmit_timeout);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(NetworkFaultTest, PartitionHoldsUntilHealThenFlushesInOrder) {
+  sim::Simulator sim;
+  cluster::NetworkParams params;
+  params.jitter = 0;
+  cluster::Network net(&sim, params, 5);
+  net.SetLinkPartitioned(/*peer=*/1, true);
+  EXPECT_TRUE(net.LinkPartitioned(1));
+  std::vector<int> order;
+  net.Deliver(1, [&]() mutable { order.push_back(1); });
+  net.Deliver(1, [&]() mutable { order.push_back(2); });
+  sim.Run();
+  EXPECT_TRUE(order.empty());  // Held, not dropped.
+  EXPECT_EQ(net.messages_deferred(), 2u);
+  net.SetLinkPartitioned(1, false);
+  sim.Run();
+  ASSERT_EQ(order.size(), 2u);  // Arrival order preserved across the heal.
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(net.messages_delivered(), 2u);
+}
+
+// ---------------------------------------------------------------- Injector
+
+cluster::Cluster::Options SmallClusterOptions(int nodes) {
+  cluster::Cluster::Options opt;
+  opt.num_nodes = nodes;
+  opt.node.num_keys = 1 << 12;
+  opt.node.os.backend = os::BackendKind::kDiskCfq;
+  return opt;
+}
+
+TEST(FaultInjectorTest, AppliesClearsAndLogsEpisodes) {
+  sim::Simulator sim;
+  obs::Tracer tracer;
+  sim.set_tracer(&tracer);
+  cluster::Cluster c(&sim, SmallClusterOptions(2));
+  FaultPlanBuilder b;
+  b.FailSlowDisk(/*node=*/0, Millis(1), Millis(4), 8.0);
+  b.NodePause(/*node=*/1, Millis(2), Millis(3));
+  FaultInjector inj(&sim, &c, b.Build());
+  inj.Start();
+  // Fault events are daemons: a workload event must keep Run() alive past
+  // the last episode end.
+  bool saw_peak = false;
+  sim.Schedule(Millis(3), [&] {
+    saw_peak = c.node(0).os().disk()->service_time_multiplier() > 1.0;
+  });
+  sim.Schedule(Millis(10), [] {});
+  sim.Run();
+  EXPECT_TRUE(saw_peak);
+  EXPECT_EQ(inj.episodes_begun(), 2u);
+  EXPECT_EQ(inj.episodes_skipped(), 0u);
+  EXPECT_DOUBLE_EQ(c.node(0).os().disk()->service_time_multiplier(), 1.0);  // Healed.
+  ASSERT_EQ(inj.applied().size(), 2u);
+  EXPECT_EQ(inj.applied()[0].kind, FaultKind::kFailSlowDisk);
+  EXPECT_EQ(inj.applied()[0].start, Millis(1));
+  EXPECT_EQ(inj.applied()[0].end, Millis(5));
+  EXPECT_EQ(inj.applied()[1].kind, FaultKind::kNodePause);
+#if MITT_OBS_ENABLED
+  // Episode windows show in the trace as fault_active spans, stamped at
+  // begin so even run-outliving faults are visible.
+  int fault_spans = 0;
+  for (const auto& span : tracer.OrderedSpans()) {
+    if (span.kind == obs::SpanKind::kFaultActive) {
+      ++fault_spans;
+      EXPECT_EQ(span.end - span.begin, span.node == 0 ? Millis(4) : Millis(3));
+    }
+  }
+  EXPECT_EQ(fault_spans, 2);
+#endif
+}
+
+TEST(FaultInjectorTest, SkipsEpisodesTheWorldCannotHost) {
+  sim::Simulator sim;
+  cluster::Cluster c(&sim, SmallClusterOptions(2));  // Disk backend, 2 nodes.
+  FaultPlanBuilder b;
+  b.SsdReadRetry(/*node=*/0, Millis(1), Millis(2), 25.0);  // No SSD here.
+  b.NodePause(/*node=*/9, Millis(1), Millis(2));           // No such node.
+  FaultInjector inj(&sim, &c, b.Build());
+  inj.Start();
+  sim.Schedule(Millis(5), [] {});
+  sim.Run();
+  EXPECT_EQ(inj.episodes_begun(), 0u);
+  EXPECT_EQ(inj.episodes_skipped(), 2u);
+  EXPECT_TRUE(inj.applied().empty());
+}
+
+// ------------------------------------------------- End-to-end determinism
+
+// The subsystem's headline contract: a fault-laden scenario produces
+// bit-identical latency samples, fault logs, and traces whether trials run
+// serially or across 4 workers.
+TEST(FaultDeterminismTest, ScenarioBitIdenticalAcrossWorkerCounts) {
+  harness::ExperimentOptions opt;
+  opt.num_nodes = 3;
+  opt.num_clients = 2;
+  opt.measure_requests = 400;
+  opt.warmup_requests = 40;
+  opt.pin_primary_node = 0;
+  opt.noise = harness::NoiseKind::kNone;
+  opt.deadline = Millis(15);
+  opt.hedge_delay = Millis(15);
+  opt.app_timeout = Millis(15);
+  opt.trace = true;
+  opt.seed = 99;
+  FaultPlanBuilder b;
+  b.FailSlowDisk(/*node=*/0, Millis(20), Millis(400), 6.0);
+  b.NodePause(/*node=*/1, Millis(50), Millis(30));
+  b.NetworkDegrade(/*node=*/2, Millis(10), Millis(200), 20.0);
+  opt.fault_plan = b.Build();
+
+  std::vector<harness::Trial> trials;
+  for (const auto kind : {harness::StrategyKind::kBase, harness::StrategyKind::kAppTimeout,
+                          harness::StrategyKind::kMittos}) {
+    trials.push_back({opt, kind, ""});
+  }
+  const auto serial = harness::RunTrialsParallel(trials, /*workers=*/1);
+  const auto fanned = harness::RunTrialsParallel(trials, /*workers=*/4);
+
+  ASSERT_EQ(serial.size(), fanned.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const harness::RunResult& a = serial[i];
+    const harness::RunResult& f = fanned[i];
+    EXPECT_EQ(a.get_latencies.samples(), f.get_latencies.samples()) << a.name;
+    EXPECT_EQ(a.ebusy_failovers, f.ebusy_failovers) << a.name;
+    EXPECT_GT(a.fault_episodes, 0u) << a.name;
+    EXPECT_EQ(a.fault_episodes, f.fault_episodes) << a.name;
+    ASSERT_EQ(a.fault_log, f.fault_log) << a.name;
+    ASSERT_EQ(a.trace_spans.size(), f.trace_spans.size()) << a.name;
+    for (size_t s = 0; s < a.trace_spans.size(); ++s) {
+      const obs::SpanRecord& x = a.trace_spans[s];
+      const obs::SpanRecord& y = f.trace_spans[s];
+      EXPECT_EQ(std::make_tuple(x.request_id, x.begin, x.end, x.node, x.kind),
+                std::make_tuple(y.request_id, y.begin, y.end, y.node, y.kind));
+    }
+  }
+  // And the faults genuinely fired: the fail-slow episode is in every log.
+  bool saw_failslow = false;
+  for (const auto& e : serial[0].fault_log) {
+    saw_failslow |= e.kind == FaultKind::kFailSlowDisk;
+  }
+  EXPECT_TRUE(saw_failslow);
+}
+
+}  // namespace
+}  // namespace mitt::fault

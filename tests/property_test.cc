@@ -13,8 +13,12 @@
 #include "src/common/latency_recorder.h"
 #include "src/common/rng.h"
 #include "src/device/disk_model.h"
+#include "src/device/disk_profile.h"
 #include "src/device/ssd_model.h"
+#include "src/device/ssd_profile.h"
 #include "src/noise/ec2_noise.h"
+#include "src/os/mitt_cfq.h"
+#include "src/os/mitt_ssd.h"
 #include "src/os/page_cache.h"
 #include "src/sched/cfq_scheduler.h"
 #include "src/sched/noop_scheduler.h"
@@ -287,6 +291,88 @@ TEST_P(NoiseProperty, EpisodesSortedAndNonOverlapping) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NoiseProperty, ::testing::Values(41, 42, 43));
+
+// -------------------------------------------------- Predictor monotonicity
+//
+// The fast-reject decision compares a predicted *wait* against the deadline;
+// the estimate must grow (or hold) as the queue behind a device deepens, or
+// a busier device could look more admissible than an idler one. Verified at
+// a fixed instant — submissions only, no completions in between.
+
+class PredictorMonotoneProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PredictorMonotoneProperty, CfqWaitNonDecreasingWithQueueDepth) {
+  sim::Simulator sim;
+  device::DiskParams dp;
+  device::DiskModel disk(&sim, dp, GetParam());
+  sim::Simulator scratch;
+  device::DiskModel twin(&scratch, dp, 99);
+  const device::DiskProfile profile = device::ProfileDisk(&scratch, &twin);
+  os::MittCfqPredictor predictor(&sim, profile, os::PredictorOptions{}, os::MittCfqOptions{});
+  sched::CfqScheduler cfq(&sim, &disk, &predictor);
+
+  Rng rng(GetParam() ^ 0xA11);
+  std::vector<std::unique_ptr<sched::IoRequest>> backlog;
+  DurationNs prev = predictor.PredictedWaitNow(/*pid=*/1, sched::IoClass::kBestEffort);
+  EXPECT_EQ(prev, 0);
+  for (int depth = 0; depth < 40; ++depth) {
+    auto req = std::make_unique<sched::IoRequest>();
+    req->id = static_cast<uint64_t>(depth);
+    req->op = sched::IoOp::kRead;
+    req->pid = static_cast<int32_t>(2 + rng.UniformInt(0, 3));  // Other tenants.
+    req->io_class = rng.Bernoulli(0.3) ? sched::IoClass::kRealTime : sched::IoClass::kBestEffort;
+    req->offset = rng.UniformInt(0, dp.capacity_bytes - (1 << 20));
+    req->size = 4096;
+    req->on_complete = [](const sched::IoRequest&, Status) {};
+    cfq.Submit(req.get());
+    backlog.push_back(std::move(req));
+    const DurationNs wait = predictor.PredictedWaitNow(1, sched::IoClass::kBestEffort);
+    EXPECT_GE(wait, prev) << "queue depth " << depth + 1;
+    prev = wait;
+  }
+  EXPECT_GT(prev, 0);
+  sim.Run();
+}
+
+TEST_P(PredictorMonotoneProperty, SsdWaitNonDecreasingWithChipQueueDepth) {
+  sim::Simulator sim;
+  device::SsdParams sp;
+  device::SsdModel ssd(&sim, sp, GetParam());
+  sim::Simulator scratch;
+  device::SsdModel twin(&scratch, sp, 99);
+  const device::SsdProfile profile = device::ProfileSsd(&scratch, &twin);
+  os::MittSsdPredictor predictor(&sim, &ssd, profile, os::PredictorOptions{},
+                                 os::MittSsdOptions{});
+  os::SsdBlockLayer layer(&sim, &ssd, &predictor);
+
+  sched::IoRequest probe;  // Chip 0, one page: the IO whose wait we watch.
+  probe.id = 1000;
+  probe.op = sched::IoOp::kRead;
+  probe.offset = 0;
+  probe.size = sp.page_size;
+
+  Rng rng(GetParam() ^ 0x55D);
+  std::vector<std::unique_ptr<sched::IoRequest>> backlog;
+  DurationNs prev = predictor.PredictedWait(probe);
+  for (int depth = 0; depth < 24; ++depth) {
+    auto req = std::make_unique<sched::IoRequest>();
+    req->id = static_cast<uint64_t>(depth);
+    // Same chip 0, mixed reads and (slower) writes.
+    req->op = rng.Bernoulli(0.3) ? sched::IoOp::kWrite : sched::IoOp::kRead;
+    req->offset = 0;
+    req->size = sp.page_size;
+    req->on_complete = [](const sched::IoRequest&, Status) {};
+    layer.Submit(req.get());
+    backlog.push_back(std::move(req));
+    const DurationNs wait = predictor.PredictedWait(probe);
+    EXPECT_GE(wait, prev) << "chip queue depth " << depth + 1;
+    prev = wait;
+  }
+  EXPECT_GT(prev, 0);
+  sim.Run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredictorMonotoneProperty, ::testing::Values(61, 62, 63, 64, 65));
 
 // ------------------------------------------------------------- Statistics
 
