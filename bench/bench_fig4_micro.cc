@@ -7,6 +7,7 @@
 //   (c) MittSSD, 64KB-write noise, 2ms deadline;
 //   (d) MittCache, ~20% of cached data dropped, tiny deadline.
 
+#include <chrono>
 #include <cstdio>
 
 #include "src/harness/experiment.h"
@@ -15,6 +16,12 @@ namespace {
 
 using namespace mitt;
 using harness::StrategyKind;
+
+// Wall-clock of this bench on the dev box at f313402, the commit before the
+// hot-path overhaul (median of repeated runs). Machine-dependent: recalibrate
+// when moving boxes. Printed to stderr so stdout stays byte-comparable
+// across commits.
+constexpr double kPreOverhaulSeconds = 0.46;
 
 harness::ExperimentOptions MicroBase(uint64_t seed) {
   harness::ExperimentOptions opt;
@@ -52,6 +59,7 @@ void RunCase(const char* title, harness::ExperimentOptions opt,
 }  // namespace
 
 int main() {
+  const auto wall_start = std::chrono::steady_clock::now();
   std::printf("=== Figure 4: microbenchmarks (3 nodes, requests hit the noisy node) ===\n");
 
   {
@@ -100,5 +108,9 @@ int main() {
     RunCase("Fig 4d: MittCache, ~20% of cached data dropped (deadline 0.1ms)", opt,
             {20, 50, 80, 90, 95, 99});
   }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  std::fprintf(stderr, "[perf] fig4 wall-clock %.2fs; pre-overhaul baseline %.2fs (%.2fx)\n",
+               wall, kPreOverhaulSeconds, kPreOverhaulSeconds / wall);
   return 0;
 }

@@ -5,13 +5,25 @@
 // an 8-thread machine) — CPU contention, not IO, creates the tail. MittSSD
 // rejects at the chip level without spawning extra work.
 
+#include <chrono>
 #include <cstdio>
 
 #include "src/harness/experiment.h"
 
+namespace {
+
+// Wall-clock of this bench on the dev box at f313402, the commit before the
+// hot-path overhaul (median of repeated runs). Machine-dependent: recalibrate
+// when moving boxes. Printed to stderr so stdout stays byte-comparable
+// across commits.
+constexpr double kPreOverhaulSeconds = 0.45;
+
+}  // namespace
+
 int main() {
   using namespace mitt;
   using harness::StrategyKind;
+  const auto wall_start = std::chrono::steady_clock::now();
 
   harness::ExperimentOptions base_opt;
   base_opt.num_nodes = 6;  // Six partitions/processes on one machine.
@@ -58,5 +70,9 @@ int main() {
     std::printf("SF=%d:\n", sf);
     harness::PrintReductionTable(mitt, {hedged}, {75, 90, 95, 99}, /*user_level=*/true);
   }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  std::fprintf(stderr, "[perf] fig8 wall-clock %.2fs; pre-overhaul baseline %.2fs (%.2fx)\n",
+               wall, kPreOverhaulSeconds, kPreOverhaulSeconds / wall);
   return 0;
 }

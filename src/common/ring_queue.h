@@ -1,0 +1,85 @@
+// Growable power-of-two ring-buffer FIFO.
+//
+// std::deque allocates a new node every ~512 bytes of growth and frees it on
+// drain, so a FIFO that oscillates around a block boundary churns the heap on
+// every push/pop cycle. The IO pipeline's dispatch queues (noop scheduler,
+// SSD chip/channel sub-IO queues) do exactly that at steady state. RingQueue
+// keeps one contiguous power-of-two array: pushes and pops are index
+// arithmetic, capacity only ever grows, and the steady state performs zero
+// allocations.
+
+#ifndef MITTOS_COMMON_RING_QUEUE_H_
+#define MITTOS_COMMON_RING_QUEUE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mitt {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  size_t capacity() const { return slots_.size(); }
+
+  void reserve(size_t n) {
+    if (n > slots_.size()) {
+      Grow(PowerOfTwoAtLeast(n));
+    }
+  }
+
+  void push_back(T value) {
+    if (count_ == slots_.size()) {
+      Grow(slots_.empty() ? kInitialCapacity : slots_.size() * 2);
+    }
+    slots_[(head_ + count_) & (slots_.size() - 1)] = std::move(value);
+    ++count_;
+  }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+
+  void pop_front() {
+    slots_[head_] = T{};  // Drop owned resources eagerly.
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --count_;
+  }
+
+  void clear() {
+    while (!empty()) {
+      pop_front();
+    }
+  }
+
+ private:
+  static constexpr size_t kInitialCapacity = 16;
+
+  static size_t PowerOfTwoAtLeast(size_t n) {
+    size_t p = kInitialCapacity;
+    while (p < n) {
+      p *= 2;
+    }
+    return p;
+  }
+
+  void Grow(size_t new_capacity) {
+    std::vector<T> next(new_capacity);
+    for (size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
+    }
+    slots_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace mitt
+
+#endif  // MITTOS_COMMON_RING_QUEUE_H_

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 
 namespace mitt::device {
 namespace {
@@ -52,16 +51,14 @@ void DiskModel::Submit(sched::IoRequest* req) {
   if (req->op == sched::IoOp::kWrite && params_.nvram_writes) {
     // Acknowledge from NVRAM, then destage to the platters in the background.
     // The destage occupies the head like any other IO but reports to no one.
-    auto destage = std::make_unique<sched::IoRequest>();
+    sched::IoRequest* destage = destage_pool_.Acquire();
     destage->id = (0xD000'0000'0000'0000ULL | destage_seq_++);
     destage->dispatch_time = sim_->Now();
     destage->op = sched::IoOp::kWrite;
     destage->offset = req->offset;
     destage->size = req->size;
     destage->pid = req->pid;
-    sched::IoRequest* destage_raw = destage.get();
-    destages_.push_back(std::move(destage));
-    queue_.push_back(destage_raw);
+    queue_.push_back(destage);
     if (in_service_ == nullptr) {
       StartNext();
     }
@@ -126,11 +123,7 @@ void DiskModel::OnServiceDone(sched::IoRequest* req) {
 
   const bool is_destage = (req->id & 0xF000'0000'0000'0000ULL) == 0xD000'0000'0000'0000ULL;
   if (is_destage) {
-    auto it = std::find_if(destages_.begin(), destages_.end(),
-                           [req](const auto& p) { return p.get() == req; });
-    if (it != destages_.end()) {
-      destages_.erase(it);
-    }
+    destage_pool_.Release(req);
     if (capacity_listener_) {
       capacity_listener_();
     }

@@ -17,13 +17,12 @@
 #define MITTOS_DEVICE_DISK_MODEL_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <memory>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/time.h"
+#include "src/sched/io_pool.h"
 #include "src/sched/io_request.h"
 #include "src/sim/simulator.h"
 
@@ -99,7 +98,7 @@ class DiskModel {
   bool idle() const { return in_service_ == nullptr && queue_.empty(); }
 
   // Pending (not yet in-service) IOs, for O(N) baseline predictors and tests.
-  const std::deque<sched::IoRequest*>& queued() const { return queue_; }
+  const std::vector<sched::IoRequest*>& queued() const { return queue_; }
   const sched::IoRequest* in_service() const { return in_service_; }
   TimeNs in_service_completion_time() const { return in_service_done_; }
 
@@ -133,7 +132,7 @@ class DiskModel {
   std::function<void(sched::IoRequest*)> listener_;
   std::function<void()> capacity_listener_;
 
-  std::deque<sched::IoRequest*> queue_;
+  std::vector<sched::IoRequest*> queue_;
   sched::IoRequest* in_service_ = nullptr;
   TimeNs in_service_done_ = 0;
   double service_multiplier_ = 1.0;
@@ -141,8 +140,9 @@ class DiskModel {
   uint64_t completed_ = 0;
   uint64_t destage_seq_ = 0;
 
-  // Owned background-destage descriptors currently in flight.
-  std::vector<std::unique_ptr<sched::IoRequest>> destages_;
+  // Background-destage descriptors are pooled: acquired on write submit,
+  // released when the destage leaves the head.
+  sched::IoRequestPool destage_pool_;
 };
 
 }  // namespace mitt::device

@@ -37,7 +37,7 @@ void SsdModel::Submit(sched::IoRequest* req) {
   req->dispatch_time = sim_->Now();
   if (req->op == sched::IoOp::kErase) {
     const int64_t page = PageOfOffset(req->offset);
-    pending_subs_[req->id] = 1;
+    req->subs_remaining = 1;
     EnqueueChip(ChipOfPage(page), SubIo{req, page, sched::IoOp::kErase, 0});
     return;
   }
@@ -45,7 +45,7 @@ void SsdModel::Submit(sched::IoRequest* req) {
   const int64_t first_page = PageOfOffset(req->offset);
   const int64_t last_page = PageOfOffset(req->offset + std::max<int64_t>(req->size, 1) - 1);
   const int n = static_cast<int>(last_page - first_page + 1);
-  pending_subs_[req->id] = n;
+  req->subs_remaining = n;
   for (int64_t p = first_page; p <= last_page; ++p) {
     const SubIo sub{req, p, req->op, 0};
     const int chip = ChipOfPage(p);
@@ -134,20 +134,21 @@ void SsdModel::FinishSub(const SubIo& sub) {
   if (sub.op != sched::IoOp::kErase) {
     --channels_[ChannelOfChip(ChipOfPage(sub.logical_page))].outstanding;
   }
-  auto it = pending_subs_.find(sub.parent->id);
-  assert(it != pending_subs_.end());
-  if (--it->second > 0) {
+  sched::IoRequest* parent = sub.parent;
+  assert(parent->subs_remaining > 0);
+  if (--parent->subs_remaining > 0) {
     return;
   }
-  pending_subs_.erase(it);
   ++completed_;
   // Contract: when a listener is installed it owns completion delivery
   // (including invoking on_complete for requests it does not recognize, e.g.
-  // GC traffic). Without a listener we invoke on_complete directly.
+  // GC traffic). Without a listener we invoke on_complete directly. Either
+  // way the callback may release the descriptor, so move it out first.
   if (listener_ != nullptr) {
-    listener_(sub.parent);
-  } else if (sub.parent->on_complete) {
-    sub.parent->on_complete(*sub.parent, Status::Ok());
+    listener_(parent);
+  } else if (parent->on_complete) {
+    auto cb = std::move(parent->on_complete);
+    cb(*parent, Status::Ok());
   }
 }
 
@@ -183,22 +184,16 @@ void SsdGc::RunRound() {
   // chip), then erase the block.
   const int64_t page_size = ssd_->params().page_size;
   auto make_req = [&](sched::IoOp op, int64_t logical_page) {
-    auto req = std::make_unique<sched::IoRequest>();
+    sched::IoRequest* req = pool_.Acquire();
     req->id = next_id_++;
     req->op = op;
     req->offset = logical_page * page_size;
     req->size = page_size;
     req->pid = -1;  // Kernel-internal.
-    sched::IoRequest* raw = req.get();
-    raw->on_complete = [this, raw](const sched::IoRequest&, Status) {
-      auto it = std::find_if(in_flight_.begin(), in_flight_.end(),
-                             [raw](const auto& p) { return p.get() == raw; });
-      if (it != in_flight_.end()) {
-        in_flight_.erase(it);
-      }
+    req->on_complete = [this, req](const sched::IoRequest&, Status) {
+      pool_.Release(req);
     };
-    in_flight_.push_back(std::move(req));
-    return raw;
+    return req;
   };
 
   // Logical pages congruent to `chip` mod num_chips() land on this chip.

@@ -18,14 +18,13 @@
 #define MITTOS_DEVICE_SSD_MODEL_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/ring_queue.h"
 #include "src/common/rng.h"
 #include "src/common/time.h"
+#include "src/sched/io_pool.h"
 #include "src/sched/io_request.h"
 #include "src/sim/simulator.h"
 
@@ -96,20 +95,20 @@ class SsdModel {
 
  private:
   struct SubIo {
-    sched::IoRequest* parent;
-    int64_t logical_page;
-    sched::IoOp op;
-    uint64_t erase_cookie;  // For erase ops injected by GC.
+    sched::IoRequest* parent = nullptr;
+    int64_t logical_page = 0;
+    sched::IoOp op = sched::IoOp::kRead;
+    uint64_t erase_cookie = 0;  // For erase ops injected by GC.
   };
 
   struct Chip {
-    std::deque<SubIo> queue;
+    RingQueue<SubIo> queue;
     bool busy = false;
     double read_multiplier = 1.0;  // Fail-slow media (read-retry storms).
   };
 
   struct Channel {
-    std::deque<SubIo> queue;
+    RingQueue<SubIo> queue;
     bool busy = false;
     size_t outstanding = 0;  // Sub-IOs somewhere between submit and done.
   };
@@ -132,8 +131,7 @@ class SsdModel {
   std::vector<Chip> chips_;
   std::vector<Channel> channels_;
 
-  // Outstanding sub-IO counts per parent request id.
-  std::unordered_map<uint64_t, int> pending_subs_;
+  // Outstanding sub-IO counts live on the parent (IoRequest::subs_remaining).
   uint64_t completed_ = 0;
 };
 
@@ -165,7 +163,8 @@ class SsdGc {
   bool running_ = false;
   uint64_t rounds_ = 0;
   uint64_t next_id_ = 0x6C00'0000'0000'0000ULL;
-  std::vector<std::unique_ptr<sched::IoRequest>> in_flight_;
+  // GC descriptors are pooled; each completion callback releases its slot.
+  sched::IoRequestPool pool_;
 };
 
 }  // namespace mitt::device

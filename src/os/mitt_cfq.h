@@ -1,25 +1,35 @@
 // MittCFQ (§4.2): admission prediction for the CFQ scheduler.
 //
-// Performance: instead of iterating all pending IOs (O(N)), the predictor
-// keeps the predicted total IO time of each process node (O(P)), aggregated
-// per service class, plus an O(1) next-free-time estimate for the device
-// queue, so a deadline check is O(1) in the number of pending IOs.
+// Performance: the predictor keeps running aggregates — per-class pending
+// totals folded into prefix sums, plus an O(1) next-free-time estimate for
+// the device queue — updated incrementally on accept/dispatch/cancel, so a
+// deadline check is a handful of loads regardless of queue depth.
 //
 // Accuracy: IOs accepted earlier can later be "bumped to the back" by newly
-// arriving higher-class IOs. The predictor keeps a hash table keyed by
+// arriving higher-class IOs. The predictor keeps a tolerance wheel keyed by
 // tolerable time (grouped in 1 ms buckets, exactly as in the paper): when a
 // higher-class IO with predicted processing time T arrives, every lower-class
 // pending IO's tolerable time shrinks by T; IOs whose tolerable time turns
 // negative are cancelled with EBUSY. The shrink is O(1) via a per-class debt
-// counter — an entry's effective tolerance is (stored - debt).
+// counter — an entry's effective tolerance is (stored - debt). The wheel is
+// a power-of-two ring of intrusive doubly-linked bucket lists threaded
+// through the IoRequest tol_prev/tol_next fields, so insert, remove and
+// bucket pops never allocate (the pre-overhaul std::map + index hash paid
+// two node allocations and three hash/tree lookups per deadline IO).
+//
+// Building with -DMITT_PREDICT_CHECK=ON keeps the old map-based structures
+// in lockstep as an oracle and aborts if any incremental answer diverges.
 
 #ifndef MITTOS_OS_MITT_CFQ_H_
 #define MITTOS_OS_MITT_CFQ_H_
 
 #include <cstdint>
-#include <map>
 #include <unordered_map>
 #include <vector>
+
+#ifdef MITT_PREDICT_CHECK
+#include <map>
+#endif
 
 #include "src/common/time.h"
 #include "src/device/disk_profile.h"
@@ -32,7 +42,7 @@ namespace mitt::os {
 struct MittCfqOptions {
   // Precision features; disabling them reproduces the §7.6 ablation
   // ("without our precision improvements, inaccuracy can be as high as 47%").
-  bool bump_cancellation = true;  // The tolerable-time hash table.
+  bool bump_cancellation = true;  // The tolerable-time wheel.
   bool use_profile = true;        // Profiled service model vs. a flat constant.
   // Optional multiplicative gain on the service model, calibrated from
   // predicted-vs-actual completion diffs. With writes charged their destage
@@ -66,7 +76,9 @@ class MittCfqPredictor {
   // lower-class pending IOs and returns those whose deadline is now
   // unmeetable. The scheduler must dequeue each victim and complete it with
   // EBUSY (in accuracy mode the victims are flagged and the list is empty).
-  std::vector<sched::IoRequest*> OnAccepted(sched::IoRequest* req);
+  // The returned list is a reused internal buffer, valid until the next
+  // OnAccepted call.
+  const std::vector<sched::IoRequest*>& OnAccepted(sched::IoRequest* req);
 
   // The IO moved from the CFQ queues into the device queue.
   void OnDispatch(sched::IoRequest* req);
@@ -89,18 +101,63 @@ class MittCfqPredictor {
     double starvation_margin_ns = 0;
   };
 
+  // Power-of-two ring of tolerance buckets holding intrusive doubly-linked
+  // lists (tol_prev/tol_next on the IoRequest). Bucket indices are absolute
+  // (they grow with the cumulative debt); the ring only needs to cover the
+  // *span* of live buckets, which is bounded by the largest tolerable time
+  // (~deadline + failover hop) divided by the bucket width.
+  class ToleranceWheel {
+   public:
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
+
+    void Insert(sched::IoRequest* req, int64_t bucket);
+    void Remove(sched::IoRequest* req);
+    // Requires !empty(): index of the smallest occupied bucket.
+    int64_t MinBucket();
+    // Appends bucket's entries to *out in insertion order and empties it.
+    void PopBucketInto(int64_t bucket, std::vector<sched::IoRequest*>* out);
+
+   private:
+    struct Bucket {
+      sched::IoRequest* head = nullptr;
+      sched::IoRequest* tail = nullptr;
+    };
+
+    static constexpr size_t kInitialBuckets = 128;
+
+    size_t Index(int64_t bucket) const {
+      return static_cast<uint64_t>(bucket) & (buckets_.size() - 1);
+    }
+    void EnsureSpan(int64_t bucket);
+    void Tighten();
+    void Grow(int64_t needed_span);
+
+    std::vector<Bucket> buckets_;
+    // Conservative occupied range: every live entry's bucket lies within
+    // [min_, max_]. Removals leave the hints stale (too wide); MinBucket and
+    // EnsureSpan re-tighten lazily. Invariant: max_ - min_ + 1 <= capacity,
+    // so ring slots never alias within the live range.
+    int64_t min_ = 0;
+    int64_t max_ = 0;
+    size_t count_ = 0;
+  };
+
   struct ClassState {
     DurationNs pending_total = 0;
     DurationNs debt = 0;  // Cumulative tolerable-time shrink.
     // stored tolerance bucket -> IOs in that bucket. An entry's effective
     // tolerance is (stored - debt); stored values are bucketed to 1 ms.
-    std::map<int64_t, std::vector<sched::IoRequest*>> by_tolerance;
+    ToleranceWheel wheel;
   };
 
   DurationNs PredictProcess(const sched::IoRequest& req) const;
   DurationNs WaitEstimate(int32_t pid, sched::IoClass io_class) const;
   void RemoveFromToleranceTable(sched::IoRequest* req);
   void ForgetPending(sched::IoRequest* req);
+  // Adjusts a class's pending total (clamped at zero, as the pre-overhaul
+  // code did) and folds the applied delta into the prefix sums.
+  void AddClassPending(int rank, DurationNs delta);
 
   sim::Simulator* sim_;
   device::DiskProfile profile_;
@@ -111,10 +168,20 @@ class MittCfqPredictor {
 
   std::unordered_map<int32_t, ProcShadow> procs_;
   ClassState classes_[3];
-  std::unordered_map<const sched::IoRequest*, int64_t> tolerance_index_;
+  // prefix_wait_[c] == sum of classes_[0..c].pending_total: the queue part of
+  // a class-c wait estimate in a single load.
+  DurationNs prefix_wait_[3] = {0, 0, 0};
+  std::vector<sched::IoRequest*> victims_;  // Reused OnAccepted result buffer.
   TimeNs device_next_free_ = 0;
   double model_gain_ = 1.0;  // EWMA of actual/predicted service time.
   int device_inflight_ = 0;
+
+#ifdef MITT_PREDICT_CHECK
+  // Pre-overhaul structures maintained in lockstep as a recompute oracle.
+  void CheckAggregates() const;
+  std::map<int64_t, std::vector<sched::IoRequest*>> check_by_tolerance_[3];
+  std::unordered_map<const sched::IoRequest*, int64_t> check_index_;
+#endif
 };
 
 }  // namespace mitt::os

@@ -1,6 +1,8 @@
 #include "src/os/mitt_ssd.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace mitt::os {
 
@@ -41,18 +43,27 @@ DurationNs MittSsdPredictor::SubIoService(const sched::IoRequest& req,
 
 DurationNs MittSsdPredictor::PredictedWait(const sched::IoRequest& req) const {
   const TimeNs now = sim_->Now();
+  if (!ssd_options_.per_chip_tracking) {
+    // Strawman single-queue model: the whole device is busy until the max of
+    // all chip next-free times — the maintained running maximum.
+#ifdef MITT_PREDICT_CHECK
+    TimeNs walked = 0;
+    for (const TimeNs t : chip_next_free_) {
+      walked = std::max(walked, t);
+    }
+    if (walked != busiest_next_free_) {
+      std::fprintf(stderr,
+                   "MittSsd predict-check: busiest_next_free_=%lld != chip walk %lld\n",
+                   static_cast<long long>(busiest_next_free_),
+                   static_cast<long long>(walked));
+      std::abort();
+    }
+#endif
+    return std::max<DurationNs>(0, busiest_next_free_ - now);
+  }
   const int64_t first = ssd_->PageOfOffset(req.offset);
   const int64_t last = ssd_->PageOfOffset(req.offset + std::max<int64_t>(req.size, 1) - 1);
   DurationNs worst = 0;
-  if (!ssd_options_.per_chip_tracking) {
-    // Strawman single-queue model: the whole device is busy until the max of
-    // all chip next-free times.
-    TimeNs busiest = 0;
-    for (const TimeNs t : chip_next_free_) {
-      busiest = std::max(busiest, t);
-    }
-    return std::max<DurationNs>(0, busiest - now);
-  }
   for (int64_t p = first; p <= last; ++p) {
     const int chip = ssd_->ChipOfPage(p);
     const int channel = ssd_->ChannelOfChip(chip);
@@ -87,11 +98,10 @@ bool MittSsdPredictor::ShouldReject(sched::IoRequest* req) {
   return reject;
 }
 
-void MittSsdPredictor::OnAccepted(const sched::IoRequest& req) {
+void MittSsdPredictor::OnAccepted(sched::IoRequest* req) {
   const TimeNs now = sim_->Now();
-  const int64_t first = ssd_->PageOfOffset(req.offset);
-  const int64_t last = ssd_->PageOfOffset(req.offset + std::max<int64_t>(req.size, 1) - 1);
-  auto& channels = channels_of_[req.id];
+  const int64_t first = ssd_->PageOfOffset(req->offset);
+  const int64_t last = ssd_->PageOfOffset(req->offset + std::max<int64_t>(req->size, 1) - 1);
   for (int64_t p = first; p <= last; ++p) {
     const int chip = ssd_->ChipOfPage(p);
     const int channel = ssd_->ChannelOfChip(chip);
@@ -99,22 +109,51 @@ void MittSsdPredictor::OnAccepted(const sched::IoRequest& req) {
     if (free_at < now) {
       free_at = now;
     }
-    free_at += SubIoService(req, p);
+    free_at += SubIoService(*req, p);
+    busiest_next_free_ = std::max(busiest_next_free_, free_at);
     ++channel_outstanding_[channel];
-    channels.push_back(channel);
+#ifdef MITT_PREDICT_CHECK
+    check_channels_of_[req->id].push_back(channel);
+#endif
   }
+  req->ssd_tracked = true;
 }
 
-void MittSsdPredictor::OnCompletion(const sched::IoRequest& req) {
-  const auto it = channels_of_.find(req.id);
-  if (it != channels_of_.end()) {
-    for (const int channel : it->second) {
+void MittSsdPredictor::OnCompletion(sched::IoRequest* req) {
+  // Device-internal IOs (GC) go straight to the device and never pass
+  // admission; they carry no accounting to unwind.
+  if (req->ssd_tracked) {
+    req->ssd_tracked = false;
+    // Recompute the channels the request touched — same page walk, and
+    // therefore the same decrement order, as OnAccepted.
+    const int64_t first = ssd_->PageOfOffset(req->offset);
+    const int64_t last =
+        ssd_->PageOfOffset(req->offset + std::max<int64_t>(req->size, 1) - 1);
+#ifdef MITT_PREDICT_CHECK
+    const auto it = check_channels_of_.find(req->id);
+    if (it == check_channels_of_.end() ||
+        it->second.size() != static_cast<size_t>(last - first + 1)) {
+      std::fprintf(stderr, "MittSsd predict-check: channel list mismatch for io %llu\n",
+                   static_cast<unsigned long long>(req->id));
+      std::abort();
+    }
+#endif
+    for (int64_t p = first; p <= last; ++p) {
+      const int channel = ssd_->ChannelOfChip(ssd_->ChipOfPage(p));
+#ifdef MITT_PREDICT_CHECK
+      if (it->second[static_cast<size_t>(p - first)] != channel) {
+        std::fprintf(stderr, "MittSsd predict-check: recomputed channel diverges\n");
+        std::abort();
+      }
+#endif
       channel_outstanding_[channel] = std::max(0, channel_outstanding_[channel] - 1);
     }
-    channels_of_.erase(it);
+#ifdef MITT_PREDICT_CHECK
+    check_channels_of_.erase(it);
+#endif
   }
-  if (options_.accuracy_mode && req.has_deadline()) {
-    stats_.Account(req, sim_->Now() - req.submit_time);
+  if (options_.accuracy_mode && req->has_deadline()) {
+    stats_.Account(*req, sim_->Now() - req->submit_time);
   }
 }
 
@@ -132,11 +171,12 @@ void SsdBlockLayer::Submit(sched::IoRequest* req) {
     obs_.OnPredict(*req, reject);
     if (reject) {
       if (req->on_complete) {
-        req->on_complete(*req, Status::Ebusy());
+        auto cb = std::move(req->on_complete);
+        cb(*req, Status::Ebusy());
       }
       return;
     }
-    predictor_->OnAccepted(*req);
+    predictor_->OnAccepted(req);
   }
   // No block-layer queue: the IO goes straight to the device, so queue_wait
   // is zero-length and device-internal queueing shows up as device_service.
@@ -146,11 +186,12 @@ void SsdBlockLayer::Submit(sched::IoRequest* req) {
 
 void SsdBlockLayer::OnDeviceCompletion(sched::IoRequest* req) {
   if (predictor_ != nullptr) {
-    predictor_->OnCompletion(*req);
+    predictor_->OnCompletion(req);
   }
   obs_.OnServiceDone(*req);
   if (req->on_complete) {
-    req->on_complete(*req, Status::Ok());
+    auto cb = std::move(req->on_complete);
+    cb(*req, Status::Ok());
   }
 }
 

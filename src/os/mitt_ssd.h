@@ -15,13 +15,24 @@
 // profiling: page read ~100 us, channel delay ~60 us, the per-block
 // "11111121121122...2112" program-time pattern stored as a 512-item array,
 // erase ~6 ms).
+//
+// Incremental aggregates: the strawman (single-queue) estimate is a running
+// maximum of the chip next-free times (exact, since they only ever advance),
+// and completion-side channel accounting is recomputed from the request's
+// offset/size instead of a per-request hash-map entry — the request's
+// ssd_tracked flag marks IOs that passed admission (device-internal GC IOs
+// bypass it). Building with -DMITT_PREDICT_CHECK=ON keeps the old map in
+// lockstep and aborts on divergence.
 
 #ifndef MITTOS_OS_MITT_SSD_H_
 #define MITTOS_OS_MITT_SSD_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
+
+#ifdef MITT_PREDICT_CHECK
+#include <unordered_map>
+#endif
 
 #include "src/common/time.h"
 #include "src/device/ssd_model.h"
@@ -54,10 +65,11 @@ class MittSsdPredictor {
   bool ShouldReject(sched::IoRequest* req);
 
   // Registers an accepted request: advances the next-free time of every chip
-  // it touches and the outstanding counts of every channel.
-  void OnAccepted(const sched::IoRequest& req);
+  // it touches and the outstanding counts of every channel. Marks the
+  // request ssd_tracked so OnCompletion knows to unwind the accounting.
+  void OnAccepted(sched::IoRequest* req);
 
-  void OnCompletion(const sched::IoRequest& req);
+  void OnCompletion(sched::IoRequest* req);
 
   // Worst-case predicted wait across the request's sub-pages, for EBUSY-with-
   // wait-time extensions (§7.8.1).
@@ -78,8 +90,14 @@ class MittSsdPredictor {
 
   std::vector<TimeNs> chip_next_free_;
   std::vector<int> channel_outstanding_;
-  // Sub-IO channel bookkeeping per in-flight request id.
-  std::unordered_map<uint64_t, std::vector<int>> channels_of_;
+  // Running max of chip_next_free_ (exact: entries only ever advance), so
+  // the strawman estimate needs no chip walk.
+  TimeNs busiest_next_free_ = 0;
+
+#ifdef MITT_PREDICT_CHECK
+  // Pre-overhaul per-request channel lists, kept as a recompute oracle.
+  std::unordered_map<uint64_t, std::vector<int>> check_channels_of_;
+#endif
 };
 
 // The SSD sits under a noop-style block layer ("the use of noop is

@@ -71,15 +71,14 @@ Os::Os(sim::Simulator* sim, const OsOptions& options)
 Os::~Os() { sim_->Cancel(flush_event_); }
 
 uint64_t Os::CreateFile(int64_t size_bytes) {
-  const uint64_t id = next_file_++;
-  file_base_[id] = next_alloc_;
+  const uint64_t id = file_bases_.size();
+  file_bases_.push_back(next_alloc_);
   next_alloc_ += AlignUp(size_bytes, kAllocAlignment);
   return id;
 }
 
 int64_t Os::FileBase(uint64_t file) const {
-  const auto it = file_base_.find(file);
-  return it == file_base_.end() ? 0 : it->second;
+  return file < file_bases_.size() ? file_bases_[file] : 0;
 }
 
 DurationNs Os::MinDeviceLatency() const {
@@ -91,14 +90,10 @@ DurationNs Os::MinDeviceLatency() const {
 }
 
 sched::IoRequest* Os::NewRequest() {
-  auto req = std::make_unique<sched::IoRequest>();
+  sched::IoRequest* req = pool_.Acquire();
   req->id = next_io_++;
-  sched::IoRequest* raw = req.get();
-  inflight_[raw->id] = std::move(req);
-  return raw;
+  return req;
 }
-
-void Os::FinishRequest(sched::IoRequest* req) { inflight_.erase(req->id); }
 
 void Os::Read(const ReadArgs& args, std::function<void(Status)> done) {
   if (done) {
@@ -143,11 +138,21 @@ void Os::ReadWithWaitHint(const ReadArgs& args, RichReadFn done) {
       }
       cache_->Touch(args.file, args.offset, args.size);
       TraceReadDone(trace, t0, t0 + options_.hit_latency, args.deadline, Status::Ok());
-      sim_->Schedule(options_.hit_latency, [done = std::move(done)] {
-        if (done) {
-          done(Status::Ok(), 0);
-        }
-      });
+      // `done` (64 bytes) would overflow the event's inline capture, so a
+      // pooled descriptor carries it to the delivery event. The null-`done`
+      // arm still schedules an (empty) event: event sequence numbers feed
+      // tie-breaking, so the event COUNT must not depend on the callback.
+      if (done) {
+        sched::IoRequest* req = pool_.Acquire();
+        req->done = std::move(done);
+        sim_->Schedule(options_.hit_latency, [this, req] {
+          auto cb = std::move(req->done);
+          pool_.Release(req);
+          cb(Status::Ok(), 0);
+        });
+      } else {
+        sim_->Schedule(options_.hit_latency, [] {});
+      }
       return;
     }
     if (cache_miss_total_ != nullptr) {
@@ -163,11 +168,19 @@ void Os::ReadWithWaitHint(const ReadArgs& args, RichReadFn done) {
     // complete.
     const DurationNs hint = MinDeviceLatency();
     TraceReadDone(trace, t0, t0 + options_.syscall_overhead, args.deadline, Status::Ebusy());
-    sim_->Schedule(options_.syscall_overhead, [done = std::move(done), hint] {
-      if (done) {
-        done(Status::Ebusy(), hint);
-      }
-    });
+    if (done) {
+      sched::IoRequest* req = pool_.Acquire();
+      req->done = std::move(done);
+      req->predicted_wait = hint;
+      sim_->Schedule(options_.syscall_overhead, [this, req] {
+        auto cb = std::move(req->done);
+        const DurationNs wait_hint = req->predicted_wait;
+        pool_.Release(req);
+        cb(Status::Ebusy(), wait_hint);
+      });
+    } else {
+      sim_->Schedule(options_.syscall_overhead, [] {});
+    }
     return;
   }
 
@@ -181,6 +194,9 @@ void Os::SubmitDeviceRead(uint64_t file, int64_t offset, int64_t size, DurationN
                           obs::TraceContext trace, RichReadFn done) {
   sched::IoRequest* req = NewRequest();
   req->op = sched::IoOp::kRead;
+  req->file = file;
+  req->file_offset = offset;
+  req->fill_cache = fill_cache;
   req->offset = FileBase(file) + offset;
   req->size = size;
   req->pid = pid;
@@ -189,25 +205,37 @@ void Os::SubmitDeviceRead(uint64_t file, int64_t offset, int64_t size, DurationN
   req->deadline = deadline;
   trace.node = options_.node_label;
   req->trace = trace;
-  req->on_complete = [this, file, offset, size, fill_cache, done = std::move(done)](
-                         const sched::IoRequest& r, Status status) {
-    if (status.ok() && fill_cache) {
-      cache_->Insert(file, offset, size);
-    }
-    const DurationNs return_cost =
-        status.busy() ? options_.syscall_overhead : options_.syscall_overhead / 2;
-    if (r.trace.traced() || r.has_deadline()) {
-      // submit_time == the syscall entry instant: submission into the
-      // scheduler is synchronous.
-      TraceReadDone(r.trace, r.submit_time, sim_->Now() + return_cost, r.deadline, status);
-    }
-    if (done) {
-      const DurationNs hint = r.predicted_wait;
-      sim_->Schedule(return_cost, [done, status, hint] { done(status, hint); });
-    }
-    FinishRequest(const_cast<sched::IoRequest*>(&r));
+  req->done = std::move(done);
+  req->on_complete = [this](const sched::IoRequest& r, Status status) {
+    ReadComplete(const_cast<sched::IoRequest*>(&r), status);
   };
   scheduler_->Submit(req);
+}
+
+void Os::ReadComplete(sched::IoRequest* req, Status status) {
+  if (status.ok() && req->fill_cache) {
+    cache_->Insert(req->file, req->file_offset, req->size);
+  }
+  const DurationNs return_cost =
+      status.busy() ? options_.syscall_overhead : options_.syscall_overhead / 2;
+  if (req->trace.traced() || req->has_deadline()) {
+    // submit_time == the syscall entry instant: submission into the
+    // scheduler is synchronous.
+    TraceReadDone(req->trace, req->submit_time, sim_->Now() + return_cost, req->deadline, status);
+  }
+  if (req->done) {
+    // The descriptor stays alive to carry `done` and the wait hint to the
+    // delivery event; it is released there, before the callback runs, so the
+    // callback can issue a new IO that reuses the slot.
+    sim_->Schedule(return_cost, [this, req, status] {
+      auto cb = std::move(req->done);
+      const DurationNs hint = req->predicted_wait;
+      pool_.Release(req);
+      cb(status, hint);
+    });
+  } else {
+    pool_.Release(req);
+  }
 }
 
 void Os::Write(const WriteArgs& args, std::function<void(Status)> done) {
@@ -220,7 +248,7 @@ void Os::Write(const WriteArgs& args, std::function<void(Status)> done) {
   // background, thus user-facing write latencies are not directly affected by
   // drive-level contention").
   cache_->Insert(args.file, args.offset, args.size);
-  dirty_.push_back({args.file, args.offset, args.size});
+  dirty_.push_back(DirtyRange{args.file, args.offset, args.size});
   sim_->Schedule(options_.hit_latency, [done = std::move(done)] {
     if (done) {
       done(Status::Ok());
@@ -237,21 +265,39 @@ void Os::SubmitDeviceWrite(const WriteArgs& args, std::function<void(Status)> do
   req->io_class = args.io_class;
   req->priority = args.priority;
   req->trace.node = options_.node_label;  // Untraced, but labelled for metrics.
-  req->on_complete = [this, done = std::move(done)](const sched::IoRequest& r, Status status) {
-    if (done) {
-      sim_->Schedule(options_.syscall_overhead / 2, [done, status] { done(status); });
-    }
-    FinishRequest(const_cast<sched::IoRequest*>(&r));
+  if (done) {
+    req->done = [cb = std::move(done)](Status s, DurationNs) { cb(s); };
+  }
+  req->on_complete = [this](const sched::IoRequest& r, Status status) {
+    WriteComplete(const_cast<sched::IoRequest*>(&r), status);
   };
   scheduler_->Submit(req);
 }
 
+void Os::WriteComplete(sched::IoRequest* req, Status status) {
+  if (req->done) {
+    sim_->Schedule(options_.syscall_overhead / 2, [this, req, status] {
+      auto cb = std::move(req->done);
+      pool_.Release(req);
+      cb(status, 0);
+    });
+  } else {
+    pool_.Release(req);
+  }
+}
+
 void Os::FlushTick() {
   // Flush dirty ranges accumulated since the last tick as background
-  // (kernel) writes with no deadline.
-  std::deque<DirtyRange> batch;
-  batch.swap(dirty_);
-  for (const DirtyRange& d : batch) {
+  // (kernel) writes with no deadline. The batch vector is a reused member:
+  // swapping keeps both buffers' capacity across ticks. Without the reserve,
+  // the capacities ping-pong between the two buffers and the smaller one
+  // regrows every other tick.
+  flush_batch_.clear();
+  flush_batch_.swap(dirty_);
+  if (dirty_.capacity() < flush_batch_.capacity()) {
+    dirty_.reserve(flush_batch_.capacity());
+  }
+  for (const DirtyRange& d : flush_batch_) {
     WriteArgs args;
     args.file = d.file;
     args.offset = d.offset;

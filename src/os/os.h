@@ -16,10 +16,9 @@
 #define MITTOS_OS_OS_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -35,6 +34,7 @@
 #include "src/os/mitt_ssd.h"
 #include "src/os/page_cache.h"
 #include "src/sched/cfq_scheduler.h"
+#include "src/sched/io_pool.h"
 #include "src/sched/noop_scheduler.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/simulator.h"
@@ -109,7 +109,8 @@ class Os {
   // least-busy replica when every replica rejects ("extending the MittOS
   // interface to return the expected wait time, with which MongoDB can
   // choose the shortest wait time when all replicas return EBUSY").
-  using RichReadFn = std::function<void(Status, DurationNs predicted_wait)>;
+  // Move-only; captures up to 48 bytes without allocating (InlineFunction).
+  using RichReadFn = sched::IoDoneFn;
   void ReadWithWaitHint(const ReadArgs& args, RichReadFn done);
 
   // --- Write syscall: buffered by default, sync hits the device ---
@@ -156,12 +157,15 @@ class Os {
   DurationNs MinDeviceLatency() const;
 
  private:
-  struct Inflight;
-
   void SubmitDeviceRead(uint64_t file, int64_t offset, int64_t size, DurationNs deadline,
                         int32_t pid, sched::IoClass io_class, int8_t priority, bool fill_cache,
                         obs::TraceContext trace, RichReadFn done);
   void SubmitDeviceWrite(const WriteArgs& args, std::function<void(Status)> done);
+  // Scheduler completion for a device read/write: page-cache fill, syscall
+  // accounting, and the return-path delivery event. The descriptor stays
+  // alive (carrying the caller's `done`) until that event fires.
+  void ReadComplete(sched::IoRequest* req, Status status);
+  void WriteComplete(sched::IoRequest* req, Status status);
 
   // Records the syscall-level span/counters for one finished read attempt.
   // `end` is the simulated instant the result reaches the caller; it may lie
@@ -170,7 +174,6 @@ class Os {
                      Status status);
   void FlushTick();
   sched::IoRequest* NewRequest();
-  void FinishRequest(sched::IoRequest* req);
 
   sim::Simulator* sim_;
   OsOptions options_;
@@ -194,19 +197,24 @@ class Os {
   std::unique_ptr<sched::IoScheduler> scheduler_;
   std::unique_ptr<PageCache> cache_;
 
-  std::unordered_map<uint64_t, int64_t> file_base_;
+  // File ids are handed out sequentially from 1; index = file id.
+  // file_bases_[0] is a sentinel for unknown handles.
+  std::vector<int64_t> file_bases_{0};
   int64_t next_alloc_ = 0;
-  uint64_t next_file_ = 1;
   uint64_t next_io_ = 1;
 
-  std::unordered_map<uint64_t, std::unique_ptr<sched::IoRequest>> inflight_;
+  // Slot arena for every in-flight IO descriptor this Os owns (device reads
+  // and writes, plus hit/floor-path descriptors that only carry `done` to the
+  // delivery event).
+  sched::IoRequestPool pool_;
 
   struct DirtyRange {
     uint64_t file;
     int64_t offset;
     int64_t size;
   };
-  std::deque<DirtyRange> dirty_;
+  std::vector<DirtyRange> dirty_;
+  std::vector<DirtyRange> flush_batch_;  // Reused swap target for FlushTick.
   sim::EventId flush_event_ = sim::kInvalidEventId;
 };
 

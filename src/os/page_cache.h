@@ -5,13 +5,19 @@
 // O(1)"), and multi-tenant memory contention is emulated by evicting a
 // fraction of the resident pages (the paper injects cache misses the same
 // way, with posix_fadvise, §7.1/§7.4).
+//
+// Storage is a single open-addressing hash table (linear probing, load
+// factor <= 1/2, backward-shift deletion) whose slots double as intrusive
+// LRU links (prev/next slot indices). One flat array replaces the old
+// std::list + unordered_map pair, which paid two node allocations per
+// resident page and three pointer chases per touch; at steady state no
+// operation allocates.
 
 #ifndef MITTOS_OS_PAGE_CACHE_H_
 #define MITTOS_OS_PAGE_CACHE_H_
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/time.h"
@@ -42,23 +48,52 @@ class PageCache {
 
   // Evicts approximately `fraction` of all resident pages, chosen uniformly —
   // the noisy-neighbor memory contention / VM ballooning effect (§6, §7.1).
+  // Pages are considered in LRU order (one Bernoulli draw per resident page,
+  // as before).
   void EvictFraction(double fraction, Rng& rng);
 
-  size_t resident_pages() const { return map_.size(); }
+  size_t resident_pages() const { return count_; }
   const PageCacheParams& params() const { return params_; }
 
  private:
-  using LruList = std::list<uint64_t>;  // Keys, LRU at front / MRU at back.
+  static constexpr uint32_t kNil = 0xFFFF'FFFFu;
+  static constexpr size_t kInitialSlots = 1024;
+
+  struct Slot {
+    uint64_t key = 0;
+    uint32_t prev = kNil;  // Towards LRU.
+    uint32_t next = kNil;  // Towards MRU.
+    bool used = false;
+  };
 
   static uint64_t Key(uint64_t file, int64_t page) {
     return (file << 40) | static_cast<uint64_t>(page);
   }
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+  uint32_t Mask() const { return static_cast<uint32_t>(slots_.size() - 1); }
+  uint32_t HashIndex(uint64_t key) const {
+    return static_cast<uint32_t>(Mix(key)) & Mask();
+  }
 
+  uint32_t FindIndex(uint64_t key) const;
   void InsertOne(uint64_t key);
+  void EraseIndex(uint32_t i);
+  void MoveSlot(uint32_t from, uint32_t to);
+  void UnlinkLru(uint32_t i);
+  void LinkMru(uint32_t i);
+  void PlaceNew(uint64_t key);  // Probe a free slot, fill it, link at MRU.
+  void Grow();
 
   PageCacheParams params_;
-  LruList lru_;
-  std::unordered_map<uint64_t, LruList::iterator> map_;
+  std::vector<Slot> slots_;  // Power-of-two size, capacity-sized on first insert.
+  uint32_t head_ = kNil;     // LRU end.
+  uint32_t tail_ = kNil;     // MRU end.
+  size_t count_ = 0;
 };
 
 }  // namespace mitt::os

@@ -9,25 +9,60 @@ int ClassRank(IoClass c) { return static_cast<int>(c); }
 
 }  // namespace
 
+void CfqScheduler::RrList::push_back(ProcQueue* p) {
+  p->rr_prev = tail;
+  p->rr_next = nullptr;
+  if (tail != nullptr) {
+    tail->rr_next = p;
+  } else {
+    head = p;
+  }
+  tail = p;
+  ++count;
+}
+
+void CfqScheduler::RrList::remove(ProcQueue* p) {
+  if (p->rr_prev != nullptr) {
+    p->rr_prev->rr_next = p->rr_next;
+  } else {
+    head = p->rr_next;
+  }
+  if (p->rr_next != nullptr) {
+    p->rr_next->rr_prev = p->rr_prev;
+  } else {
+    tail = p->rr_prev;
+  }
+  p->rr_prev = p->rr_next = nullptr;
+  --count;
+}
+
 CfqScheduler::CfqScheduler(sim::Simulator* sim, device::DiskModel* disk,
                            os::MittCfqPredictor* predictor, const CfqParams& params)
     : sim_(sim), disk_(disk), predictor_(predictor), params_(params), obs_(sim) {
   disk_->set_completion_listener([this](IoRequest* req) { OnDeviceCompletion(req); });
   disk_->set_capacity_listener([this] { DispatchMore(); });
+  procs_.reserve(256);
+  victims_.reserve(16);
 }
 
 CfqScheduler::ProcQueue& CfqScheduler::GetProc(const IoRequest& req) {
   auto it = procs_.find(req.pid);
   if (it == procs_.end()) {
-    auto proc = std::make_unique<ProcQueue>();
+    ProcQueue* proc;
+    if (!proc_free_.empty()) {
+      proc = proc_free_.back();
+      proc_free_.pop_back();
+    } else {
+      proc = &proc_slab_.emplace_back();
+    }
     proc->pid = req.pid;
-    it = procs_.emplace(req.pid, std::move(proc)).first;
+    it = procs_.emplace(req.pid, proc).first;
   }
   // ionice can change a process' class/priority at any time; refresh. A
   // class change must move the queue between round-robin trees, or it is
   // stranded in the old tree with in_rr out of sync and the dispatch loop
   // can select it forever without ever draining it.
-  ProcQueue* proc = it->second.get();
+  ProcQueue* proc = it->second;
   if (proc->in_rr && proc->io_class != req.io_class) {
     trees_[ClassRank(proc->io_class)].remove(proc);
     proc->in_rr = false;  // EnsureInTree re-files it under the new class.
@@ -49,13 +84,34 @@ void CfqScheduler::EnsureInTree(ProcQueue* proc) {
 
 void CfqScheduler::MaybeRemoveFromTree(ProcQueue* proc) {
   if (proc->in_rr && proc->sorted.empty()) {
-    auto& tree = trees_[ClassRank(proc->io_class)];
-    tree.remove(proc);
+    trees_[ClassRank(proc->io_class)].remove(proc);
     proc->in_rr = false;
     if (active_ == proc) {
       active_ = nullptr;
     }
   }
+}
+
+void CfqScheduler::MaybeRecycleProc(ProcQueue* proc) {
+  if (procs_.size() <= kProcRecycleThreshold || proc->in_rr || proc == active_ ||
+      proc->in_device != 0 || !proc->sorted.empty()) {
+    return;
+  }
+  procs_.erase(proc->pid);
+  proc->pid = 0;
+  proc->io_class = IoClass::kBestEffort;
+  proc->priority = 4;
+  proc_free_.push_back(proc);
+}
+
+void CfqScheduler::SortedInsert(std::vector<IoRequest*>* sorted, IoRequest* req) {
+  // Descending order; placing the new IO *before* existing equal offsets
+  // keeps pop_back() FIFO among ties, matching the old multimap (which
+  // inserted at the upper bound and dispatched from begin()).
+  const auto it = std::lower_bound(
+      sorted->begin(), sorted->end(), req->offset,
+      [](const IoRequest* a, int64_t offset) { return a->offset > offset; });
+  sorted->insert(it, req);
 }
 
 DurationNs CfqScheduler::SliceFor(const ProcQueue& proc) const {
@@ -108,27 +164,32 @@ void CfqScheduler::Submit(IoRequest* req) {
     }
   }
 
-  std::vector<IoRequest*> victims;
+  // Snapshot the predictor's victim buffer: completing a victim with EBUSY
+  // may re-enter Submit (and thus OnAccepted, which reuses that buffer).
+  victims_.clear();
   if (predictor_ != nullptr) {
-    victims = predictor_->OnAccepted(req);
+    const auto& victims = predictor_->OnAccepted(req);
+    victims_.assign(victims.begin(), victims.end());
   }
 
   ProcQueue& proc = GetProc(*req);
-  proc.sorted.emplace(req->offset, req);
+  SortedInsert(&proc.sorted, req);
   ++pending_;
   EnsureInTree(&proc);
 
   // Cancel previously accepted IOs whose deadline this arrival made
   // unmeetable ("bumped to the back", §4.2).
-  for (IoRequest* victim : victims) {
+  for (IoRequest* victim : victims_) {
     auto vit = procs_.find(victim->pid);
     if (vit == procs_.end()) {
       continue;
     }
     ProcQueue& vproc = *vit->second;
-    auto range = vproc.sorted.equal_range(victim->offset);
-    for (auto it = range.first; it != range.second; ++it) {
-      if (it->second == victim) {
+    auto it = std::lower_bound(
+        vproc.sorted.begin(), vproc.sorted.end(), victim->offset,
+        [](const IoRequest* a, int64_t offset) { return a->offset > offset; });
+    for (; it != vproc.sorted.end() && (*it)->offset == victim->offset; ++it) {
+      if (*it == victim) {
         vproc.sorted.erase(it);
         --pending_;
         break;
@@ -161,9 +222,8 @@ void CfqScheduler::DispatchMore() {
       }
       return;
     }
-    auto it = proc->sorted.begin();
-    IoRequest* req = it->second;
-    proc->sorted.erase(it);
+    IoRequest* req = proc->sorted.back();
+    proc->sorted.pop_back();
     --pending_;
     ++proc->in_device;
     if (predictor_ != nullptr) {
@@ -187,15 +247,20 @@ void CfqScheduler::OnDeviceCompletion(IoRequest* req) {
   }
   last_completion_ = sim_->Now();
   obs_.OnServiceDone(*req);
+  if (it != procs_.end()) {
+    MaybeRecycleProc(it->second);
+  }
   if (req->on_complete) {
-    req->on_complete(*req, Status::Ok());
+    auto cb = std::move(req->on_complete);
+    cb(*req, Status::Ok());
   }
   DispatchMore();
 }
 
 void CfqScheduler::CompleteEbusy(IoRequest* req) {
   if (req->on_complete) {
-    req->on_complete(*req, Status::Ebusy());
+    auto cb = std::move(req->on_complete);
+    cb(*req, Status::Ebusy());
   }
 }
 

@@ -13,15 +13,22 @@
 // deadline complete with EBUSY immediately, and previously accepted IOs whose
 // deadline becomes unmeetable (bumped by higher-class arrivals) are cancelled
 // out of the queues with EBUSY (§4.2 "Accuracy").
+//
+// Hot-path layout: the per-process "rbtree" is a descending offset-sorted
+// vector (dispatch pops the back, insertion is a binary search + shift —
+// queues are short, so the shift beats per-IO tree-node allocation), the
+// round-robin trees are intrusive doubly-linked lists threaded through the
+// ProcQueue nodes, and ProcQueue nodes live in a stable-address slab with a
+// free list. Under pid churn, idle queues past a threshold are recycled
+// (their vectors keep capacity), so steady state allocates nothing.
 
 #ifndef MITTOS_SCHED_CFQ_SCHEDULER_H_
 #define MITTOS_SCHED_CFQ_SCHEDULER_H_
 
 #include <cstdint>
-#include <list>
-#include <map>
-#include <memory>
+#include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "src/device/disk_model.h"
 #include "src/os/mitt_cfq.h"
@@ -55,14 +62,35 @@ class CfqScheduler : public IoScheduler {
     int32_t pid = 0;
     IoClass io_class = IoClass::kBestEffort;
     int8_t priority = 4;
-    std::multimap<int64_t, IoRequest*> sorted;  // offset -> IO (the rbtree).
+    // Pending IOs in *descending* offset order: back() is the smallest
+    // offset, equal offsets keep FIFO order at the back (insertion places a
+    // new IO before existing equals), so dispatch is pop_back().
+    std::vector<IoRequest*> sorted;
     int in_device = 0;
     bool in_rr = false;
+    ProcQueue* rr_prev = nullptr;
+    ProcQueue* rr_next = nullptr;
+  };
+
+  // Intrusive round-robin list over ProcQueue::rr_prev/rr_next.
+  struct RrList {
+    ProcQueue* head = nullptr;
+    ProcQueue* tail = nullptr;
+    size_t count = 0;
+
+    bool empty() const { return count == 0; }
+    size_t size() const { return count; }
+    ProcQueue* front() const { return head; }
+    void push_back(ProcQueue* p);
+    void remove(ProcQueue* p);
+    void pop_front() { remove(head); }
   };
 
   ProcQueue& GetProc(const IoRequest& req);
   void EnsureInTree(ProcQueue* proc);
   void MaybeRemoveFromTree(ProcQueue* proc);
+  void MaybeRecycleProc(ProcQueue* proc);
+  static void SortedInsert(std::vector<IoRequest*>* sorted, IoRequest* req);
   DurationNs SliceFor(const ProcQueue& proc) const;
   // Highest-rank (lowest index) class with runnable processes, or -1.
   int BusiestClass() const;
@@ -71,14 +99,21 @@ class CfqScheduler : public IoScheduler {
   void OnDeviceCompletion(IoRequest* req);
   void CompleteEbusy(IoRequest* req);
 
+  // Recycle idle ProcQueues only past this population, i.e. under pid churn;
+  // long-lived pids keep their nodes (and their vectors' capacity) warm.
+  static constexpr size_t kProcRecycleThreshold = 1024;
+
   sim::Simulator* sim_;
   device::DiskModel* disk_;
   os::MittCfqPredictor* predictor_;
   CfqParams params_;
   SchedObs obs_;
 
-  std::unordered_map<int32_t, std::unique_ptr<ProcQueue>> procs_;
-  std::list<ProcQueue*> trees_[3];  // Round-robin lists per service class.
+  std::deque<ProcQueue> proc_slab_;  // Stable addresses; grows only.
+  std::vector<ProcQueue*> proc_free_;
+  std::unordered_map<int32_t, ProcQueue*> procs_;
+  std::vector<IoRequest*> victims_;  // Reused snapshot of predictor victims.
+  RrList trees_[3];  // Round-robin lists per service class.
   ProcQueue* active_ = nullptr;
   TimeNs slice_end_ = 0;
   size_t pending_ = 0;

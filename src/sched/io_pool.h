@@ -1,0 +1,98 @@
+// Slot arena for pooled IoRequest descriptors.
+//
+// Mirrors the simulator's event arena (src/sim/simulator.cc): descriptors
+// live in fixed-size blocks with stable addresses, a free list recycles
+// slots, and a per-slot epoch catches double-release and use-after-release
+// in debug-checked builds. Acquire/Release replace the per-IO
+// make_unique/delete (plus the id->descriptor map node) that used to
+// dominate the syscall hot path.
+//
+// Owners: Os (syscall-layer descriptors), DiskModel (NVRAM destages),
+// SsdGc (garbage-collection IOs). Single-threaded within one simulation,
+// like everything else in the engine.
+
+#ifndef MITTOS_SCHED_IO_POOL_H_
+#define MITTOS_SCHED_IO_POOL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/sched/io_request.h"
+
+namespace mitt::sched {
+
+class IoRequestPool {
+ public:
+  IoRequestPool() = default;
+  IoRequestPool(const IoRequestPool&) = delete;
+  IoRequestPool& operator=(const IoRequestPool&) = delete;
+
+  // Returns a freshly reset descriptor. The pool retains ownership; the
+  // pointer is stable until Release.
+  IoRequest* Acquire() {
+    if (free_.empty()) {
+      AddBlock();
+    }
+    uint32_t slot = free_.back();
+    free_.pop_back();
+    IoRequest* req = At(slot);
+    uint32_t epoch = req->pool_epoch;
+    *req = IoRequest{};
+    req->pool_slot = slot;
+    req->pool_epoch = epoch | kLiveBit;
+    ++live_;
+    return req;
+  }
+
+  // Returns a descriptor to the free list. Aborts on double-release or on a
+  // pointer that does not belong to this pool's slot.
+  void Release(IoRequest* req) {
+    uint32_t slot = req->pool_slot;
+    if (slot >= blocks_.size() * kBlockSize || At(slot) != req ||
+        (req->pool_epoch & kLiveBit) == 0) {
+      std::fprintf(stderr, "IoRequestPool: bad release of slot %u\n", slot);
+      std::abort();
+    }
+    // Drop callback resources now rather than at next Acquire.
+    req->on_complete = nullptr;
+    req->done = nullptr;
+    req->pool_epoch = (req->pool_epoch & ~kLiveBit) + 1;
+    free_.push_back(slot);
+    --live_;
+  }
+
+  size_t live() const { return live_; }
+  size_t capacity() const { return blocks_.size() * kBlockSize; }
+
+ private:
+  static constexpr size_t kBlockSize = 256;
+  static constexpr uint32_t kLiveBit = 0x8000'0000u;
+
+  IoRequest* At(uint32_t slot) {
+    return &blocks_[slot / kBlockSize][slot % kBlockSize];
+  }
+
+  void AddBlock() {
+    uint32_t base = static_cast<uint32_t>(blocks_.size() * kBlockSize);
+    blocks_.push_back(std::make_unique<IoRequest[]>(kBlockSize));
+    IoRequest* block = blocks_.back().get();
+    free_.reserve(blocks_.size() * kBlockSize);
+    // Hand slots out in ascending order: the freshest block's low slots end
+    // up at the back of the free list.
+    for (size_t i = kBlockSize; i-- > 0;) {
+      block[i].pool_slot = base + static_cast<uint32_t>(i);
+      free_.push_back(base + static_cast<uint32_t>(i));
+    }
+  }
+
+  std::vector<std::unique_ptr<IoRequest[]>> blocks_;
+  std::vector<uint32_t> free_;
+  size_t live_ = 0;
+};
+
+}  // namespace mitt::sched
+
+#endif  // MITTOS_SCHED_IO_POOL_H_

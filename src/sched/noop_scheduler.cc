@@ -21,7 +21,8 @@ void NoopScheduler::Submit(IoRequest* req) {
       // Fast rejection: the IO is never queued (§3.3 "the rejected request is
       // not queued; it is automatically cancelled").
       if (req->on_complete) {
-        req->on_complete(*req, Status::Ebusy());
+        auto cb = std::move(req->on_complete);
+        cb(*req, Status::Ebusy());
       }
       return;
     }
@@ -53,7 +54,8 @@ void NoopScheduler::OnDeviceCompletion(IoRequest* req) {
   last_completion_ = sim_->Now();
   obs_.OnServiceDone(*req);
   if (req->on_complete) {
-    req->on_complete(*req, Status::Ok());
+    auto cb = std::move(req->on_complete);
+    cb(*req, Status::Ok());
   }
   DispatchMore();
 }

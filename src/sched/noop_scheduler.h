@@ -6,8 +6,7 @@
 #ifndef MITTOS_SCHED_NOOP_SCHEDULER_H_
 #define MITTOS_SCHED_NOOP_SCHEDULER_H_
 
-#include <deque>
-
+#include "src/common/ring_queue.h"
 #include "src/device/disk_model.h"
 #include "src/os/mitt_noop.h"
 #include "src/sched/sched_obs.h"
@@ -33,7 +32,7 @@ class NoopScheduler : public IoScheduler {
   device::DiskModel* disk_;
   os::MittNoopPredictor* predictor_;
   SchedObs obs_;
-  std::deque<IoRequest*> dispatch_queue_;
+  RingQueue<IoRequest*> dispatch_queue_;
   TimeNs last_completion_ = 0;
 };
 

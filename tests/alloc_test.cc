@@ -1,0 +1,232 @@
+// Steady-state allocation gating for the per-IO pipeline and the rebuilt
+// PageCache: after a warmup phase that grows every pool/table to its working
+// size, driving more IOs through a full Os stack (or more touches through
+// the cache) must perform ZERO heap allocations. bench_hotpath reports the
+// same counters; this binary fails the build if they regress.
+//
+// The counter hooks replace the global operator new/delete, which conflicts
+// with sanitizer interceptors, and the MITT_PREDICT_CHECK oracle allocates
+// map nodes per IO by design — in those builds the assertions are skipped.
+
+#include <gtest/gtest.h>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MITT_ALLOC_HOOKS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define MITT_ALLOC_HOOKS 0
+#endif
+#endif
+#ifndef MITT_ALLOC_HOOKS
+#define MITT_ALLOC_HOOKS 1
+#endif
+
+#if MITT_ALLOC_HOOKS
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/os/os.h"
+#include "src/os/page_cache.h"
+#include "src/sim/simulator.h"
+
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace mitt {
+namespace {
+
+// Closed-loop client: reissues on every completion. The callbacks capture a
+// single pointer, so neither std::function nor InlineFunction allocates.
+struct Stream {
+  os::Os* o = nullptr;
+  Rng rng{1};
+  uint64_t file = 0;
+  int64_t pages = 0;
+  int32_t pid = 0;
+  DurationNs deadline = sched::kNoDeadline;
+  bool bypass = false;
+  uint64_t* total = nullptr;
+
+  void Issue() {
+    if (!bypass && rng.Bernoulli(0.03)) {
+      os::Os::WriteArgs w;
+      w.file = file;
+      w.offset = rng.UniformInt(0, pages - 1) * 4096;
+      w.size = 4096;
+      w.pid = pid;
+      o->Write(w, [this](Status) { Done(); });
+      return;
+    }
+    os::Os::ReadArgs a;
+    a.file = file;
+    a.offset = rng.UniformInt(0, pages - 1) * 4096;
+    a.size = 4096;
+    a.pid = pid;
+    a.deadline = deadline;
+    a.bypass_cache = bypass;
+    o->ReadWithWaitHint(a, [this](Status, DurationNs) { Done(); });
+  }
+  void Done() {
+    ++*total;
+    Issue();
+  }
+};
+
+// Runs `steady_ios` IOs after a `warmup_ios` warmup and returns the number
+// of heap allocations in the steady phase.
+uint64_t SteadyAllocs(os::BackendKind backend, uint64_t warmup_ios, uint64_t steady_ios) {
+  sim::Simulator sim;
+  os::OsOptions opt;
+  opt.backend = backend;
+  opt.seed = 7;
+  opt.cache.capacity_pages = 4096;  // 16 MiB cache over a 64 MiB file.
+  os::Os osys(&sim, opt);
+
+  const int64_t file_bytes = 64LL * 1024 * 1024;
+  const uint64_t file = osys.CreateFile(file_bytes);
+  osys.Prefault(file, 0, file_bytes / 4);
+
+  uint64_t total = 0;
+  std::vector<std::unique_ptr<Stream>> streams;
+  const DurationNs dl = backend == os::BackendKind::kSsd ? Millis(2) : Millis(20);
+  for (int i = 0; i < 6; ++i) {
+    auto s = std::make_unique<Stream>();
+    s->o = &osys;
+    s->rng = Rng(31 + static_cast<uint64_t>(i));
+    s->file = file;
+    s->pages = file_bytes / 4096;
+    s->pid = 1 + i;
+    s->total = &total;
+    if (i == 5) {
+      s->bypass = true;  // O_DIRECT tenant: keeps the device path hot.
+    } else if (i < 3) {
+      s->deadline = dl;  // SLO clients: exercises reject + tolerance wheel.
+    }
+    streams.push_back(std::move(s));
+  }
+  for (auto& s : streams) {
+    s->Issue();
+  }
+  // Warm up by IO count *and* simulated time: the background flush fires
+  // every flush_interval, and its batch submission sets the device queues'
+  // high-water marks — several flush cycles must land inside warmup.
+  const TimeNs warm_until = opt.flush_interval * 6;
+  sim.RunUntilPredicate(
+      [&total, warmup_ios, &sim, warm_until] { return total >= warmup_ios && sim.Now() >= warm_until; });
+
+  const uint64_t target = total + steady_ios;
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  sim.RunUntilPredicate([&total, target] { return total >= target; });
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+#ifdef MITT_PREDICT_CHECK
+#define MITT_SKIP_UNDER_PREDICT_CHECK() \
+  GTEST_SKIP() << "MITT_PREDICT_CHECK oracles allocate per IO by design"
+#else
+#define MITT_SKIP_UNDER_PREDICT_CHECK() (void)0
+#endif
+
+TEST(SteadyStateAllocTest, DiskCfqPipelineIsAllocationFree) {
+  MITT_SKIP_UNDER_PREDICT_CHECK();
+  EXPECT_EQ(SteadyAllocs(os::BackendKind::kDiskCfq, 30'000, 30'000), 0u);
+}
+
+TEST(SteadyStateAllocTest, DiskNoopPipelineIsAllocationFree) {
+  MITT_SKIP_UNDER_PREDICT_CHECK();
+  EXPECT_EQ(SteadyAllocs(os::BackendKind::kDiskNoop, 30'000, 30'000), 0u);
+}
+
+TEST(SteadyStateAllocTest, SsdPipelineIsAllocationFree) {
+  MITT_SKIP_UNDER_PREDICT_CHECK();
+  EXPECT_EQ(SteadyAllocs(os::BackendKind::kSsd, 30'000, 30'000), 0u);
+}
+
+TEST(SteadyStateAllocTest, PageCacheHotOpsAreAllocationFree) {
+  // Warm the table to its steady size (at capacity, with the hash array
+  // grown past the load-factor bound), then hammer every hot operation.
+  // EvictFraction is excluded: it collects victims into a scratch vector
+  // (noise-injection path, runs per-episode rather than per-IO).
+  os::PageCacheParams params;
+  params.capacity_pages = 1024;
+  os::PageCache cache(params);
+  Rng rng(5);
+  const int64_t span = 4 * static_cast<int64_t>(params.capacity_pages);
+  for (int i = 0; i < 20'000; ++i) {
+    cache.Insert(1, rng.UniformInt(0, span - 1) * params.page_size, params.page_size);
+  }
+  ASSERT_EQ(cache.resident_pages(), params.capacity_pages);
+
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 50'000; ++i) {
+    const int64_t off = rng.UniformInt(0, span - 1) * params.page_size;
+    switch (i & 3) {
+      case 0:
+        cache.Insert(1, off, params.page_size);
+        break;
+      case 1:
+        cache.Touch(1, off, params.page_size);
+        break;
+      case 2:
+        (void)cache.Resident(1, off, params.page_size);
+        break;
+      case 3:
+        if ((i & 63) == 3) {
+          cache.EvictRange(1, off, params.page_size);
+        } else {
+          cache.Insert(1, off, params.page_size);
+        }
+        break;
+    }
+  }
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
+}
+
+}  // namespace
+}  // namespace mitt
+
+#else  // !MITT_ALLOC_HOOKS
+
+TEST(SteadyStateAllocTest, SkippedUnderSanitizers) {
+  GTEST_SKIP() << "operator new/delete hooks conflict with sanitizer interceptors";
+}
+
+#endif  // MITT_ALLOC_HOOKS

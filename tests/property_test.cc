@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
 #include <vector>
@@ -373,6 +374,195 @@ TEST_P(PredictorMonotoneProperty, SsdWaitNonDecreasingWithChipQueueDepth) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PredictorMonotoneProperty, ::testing::Values(61, 62, 63, 64, 65));
+
+// ----------------------------------------- Incremental-vs-oracle differential
+//
+// The predictors answer PredictedWaitNow from running aggregates updated
+// incrementally on accept/dispatch/complete/cancel. Drive them with 10k
+// random operations while the test recomputes the same quantities from
+// scratch out of the surviving pending set, and demand exact agreement.
+// (The -DMITT_PREDICT_CHECK=ON build additionally runs the predictors'
+// internal lockstep oracles through this same test.)
+
+class CfqDifferentialProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CfqDifferentialProperty, WaitAggregatesMatchRecomputeOracleOver10kOps) {
+  sim::Simulator sim;
+  device::DiskParams dp;
+  sim::Simulator scratch;
+  device::DiskModel twin(&scratch, dp, 99);
+  const device::DiskProfile profile = device::ProfileDisk(&scratch, &twin);
+  os::MittCfqOptions copt;
+  // The per-proc SSTF margin is an EWMA of observed waits, not a function of
+  // the pending set; disable it so the oracle is exact.
+  copt.starvation_margin = false;
+  os::MittCfqPredictor pred(&sim, profile, os::PredictorOptions{}, copt);
+
+  Rng rng(GetParam());
+  std::vector<std::unique_ptr<sched::IoRequest>> alive;
+  std::vector<sched::IoRequest*> pending[3];  // Accepted, not yet dispatched.
+  std::vector<sched::IoRequest*> in_device;
+  uint64_t next_id = 1;
+
+  auto erase_one = [](std::vector<sched::IoRequest*>& v, sched::IoRequest* r) {
+    v.erase(std::remove(v.begin(), v.end(), r), v.end());
+  };
+  // Recompute-from-scratch: the queue part of a class-c wait estimate is the
+  // total predicted processing time over all pending IOs of rank <= c.
+  auto oracle_prefix = [&pending](int rank) {
+    DurationNs total = 0;
+    for (int c = 0; c <= rank; ++c) {
+      for (const sched::IoRequest* r : pending[c]) {
+        total += r->predicted_process;
+      }
+    }
+    return total;
+  };
+
+  for (int op = 0; op < 10'000; ++op) {
+    const double pick = rng.NextDouble();
+    if (pick < 0.5) {
+      // Accept a new IO. Pids recur across ops with varying io_class, so a
+      // process' class changes over its lifetime.
+      auto req = std::make_unique<sched::IoRequest>();
+      req->id = next_id++;
+      req->op = rng.Bernoulli(0.25) ? sched::IoOp::kWrite : sched::IoOp::kRead;
+      req->pid = static_cast<int32_t>(rng.UniformInt(1, 8));
+      req->io_class = static_cast<sched::IoClass>(rng.UniformInt(0, 2));
+      req->priority = static_cast<int8_t>(rng.UniformInt(0, 7));
+      req->offset = rng.UniformInt(0, dp.capacity_bytes - (1 << 20));
+      req->size = rng.Bernoulli(0.5) ? 4096 : (64 << 10);
+      req->deadline =
+          rng.Bernoulli(0.6) ? sched::kNoDeadline : rng.UniformInt(Millis(2), Millis(40));
+      req->submit_time = sim.Now();
+      if (pred.ShouldReject(req.get())) {
+        continue;  // Rejected before registration: nothing to mirror.
+      }
+      pending[static_cast<int>(req->io_class)].push_back(req.get());
+      // Bump-cancellation: the predictor hands back lower-class IOs whose
+      // deadline just became unmeetable; they leave the pending set.
+      for (sched::IoRequest* victim : pred.OnAccepted(req.get())) {
+        erase_one(pending[static_cast<int>(victim->io_class)], victim);
+      }
+      alive.push_back(std::move(req));
+    } else if (pick < 0.75) {
+      // Dispatch a random pending IO (the predictor is agnostic to the
+      // scheduler's actual service order).
+      const size_t total = pending[0].size() + pending[1].size() + pending[2].size();
+      if (total == 0) {
+        continue;
+      }
+      size_t k = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(total) - 1));
+      int rank = 0;
+      while (k >= pending[rank].size()) {
+        k -= pending[rank].size();
+        ++rank;
+      }
+      sched::IoRequest* r = pending[rank][k];
+      pred.OnDispatch(r);
+      pending[rank].erase(pending[rank].begin() + static_cast<int64_t>(k));
+      in_device.push_back(r);
+    } else if (pick < 0.95) {
+      if (in_device.empty()) {
+        continue;
+      }
+      const size_t k =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(in_device.size()) - 1));
+      sched::IoRequest* r = in_device[k];
+      pred.OnCompletion(*r, rng.UniformInt(Millis(1), Millis(20)));
+      in_device.erase(in_device.begin() + static_cast<int64_t>(k));
+    } else {
+      // Let simulated time pass.
+      sim.Schedule(rng.UniformInt(0, Millis(20)), [] {});
+      sim.Run();
+    }
+
+    // Every op: class-to-class differences are pure prefix-sum deltas (the
+    // device-queue part and any margin cancel out).
+    const DurationNs w0 = pred.PredictedWaitNow(1, sched::IoClass::kRealTime);
+    const DurationNs w1 = pred.PredictedWaitNow(1, sched::IoClass::kBestEffort);
+    const DurationNs w2 = pred.PredictedWaitNow(1, sched::IoClass::kIdle);
+    ASSERT_EQ(w1 - w0, oracle_prefix(1) - oracle_prefix(0)) << "op " << op;
+    ASSERT_EQ(w2 - w0, oracle_prefix(2) - oracle_prefix(0)) << "op " << op;
+    if (op % 64 == 63) {
+      // Drain the device-queue part (next-free lies at most tens of ms
+      // ahead) and compare absolute values.
+      sim.Schedule(Seconds(60), [] {});
+      sim.Run();
+      for (int c = 0; c < 3; ++c) {
+        ASSERT_EQ(pred.PredictedWaitNow(1, static_cast<sched::IoClass>(c)), oracle_prefix(c))
+            << "op " << op << " class " << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CfqDifferentialProperty, ::testing::Values(71, 72, 73));
+
+class SsdDifferentialProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SsdDifferentialProperty, AccountingUnwindsExactlyToFreshState) {
+  // Per-chip next-free times decay via max(0, t - now) and per-channel
+  // outstanding counts are decremented from the request's own geometry on
+  // completion. After every accepted IO completes and the next-free horizon
+  // passes, the predictor must be indistinguishable from a freshly
+  // constructed one on *every* probe — any leak or double-decrement in the
+  // incremental accounting shows up as a disagreement.
+  sim::Simulator sim;
+  device::SsdParams sp;
+  device::SsdModel ssd(&sim, sp, GetParam());
+  sim::Simulator scratch;
+  device::SsdModel twin(&scratch, sp, 99);
+  const device::SsdProfile profile = device::ProfileSsd(&scratch, &twin);
+  os::MittSsdPredictor pred(&sim, &ssd, profile, os::PredictorOptions{}, os::MittSsdOptions{});
+
+  Rng rng(GetParam() ^ 0xD1F);
+  std::vector<std::unique_ptr<sched::IoRequest>> alive;
+  std::vector<sched::IoRequest*> outstanding;
+  for (int round = 0; round < 2000; ++round) {
+    if (outstanding.empty() || rng.Bernoulli(0.55)) {
+      auto req = std::make_unique<sched::IoRequest>();
+      req->id = static_cast<uint64_t>(round + 1);
+      req->op = rng.Bernoulli(0.3) ? sched::IoOp::kWrite : sched::IoOp::kRead;
+      req->offset = rng.UniformInt(0, 4000) * sp.page_size;
+      req->size = rng.UniformInt(1, 8) * sp.page_size;
+      req->pid = 1;
+      req->deadline =
+          rng.Bernoulli(0.5) ? sched::kNoDeadline : rng.UniformInt(Micros(200), Millis(20));
+      if (!pred.ShouldReject(req.get())) {
+        pred.OnAccepted(req.get());
+        outstanding.push_back(req.get());
+        alive.push_back(std::move(req));
+      }
+    } else {
+      const size_t k =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(outstanding.size()) - 1));
+      pred.OnCompletion(outstanding[k]);
+      outstanding.erase(outstanding.begin() + static_cast<int64_t>(k));
+    }
+    if (round % 50 == 49) {
+      sim.Schedule(rng.UniformInt(0, Millis(2)), [] {});
+      sim.Run();
+    }
+  }
+  for (sched::IoRequest* r : outstanding) {
+    pred.OnCompletion(r);
+  }
+  sim.Schedule(Seconds(120), [] {});  // Outrun every chip's next-free time.
+  sim.Run();
+
+  os::MittSsdPredictor fresh(&sim, &ssd, profile, os::PredictorOptions{}, os::MittSsdOptions{});
+  for (int i = 0; i < 200; ++i) {
+    sched::IoRequest probe;
+    probe.id = 1'000'000 + static_cast<uint64_t>(i);
+    probe.op = rng.Bernoulli(0.5) ? sched::IoOp::kWrite : sched::IoOp::kRead;
+    probe.offset = rng.UniformInt(0, 8000) * sp.page_size;
+    probe.size = rng.UniformInt(1, 8) * sp.page_size;
+    ASSERT_EQ(pred.PredictedWait(probe), fresh.PredictedWait(probe)) << "probe " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsdDifferentialProperty, ::testing::Values(81, 82, 83));
 
 // ------------------------------------------------------------- Statistics
 
