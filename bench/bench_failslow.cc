@@ -66,28 +66,28 @@ std::vector<harness::FaultScenario> DiskScenarios() {
     // is where stale-profile rejects must carry the SLO.
     b.FailSlowDisk(/*node=*/0, /*start=*/Millis(400), /*duration=*/Seconds(30),
                    /*multiplier=*/12.0);
-    scenarios.push_back({"failslow-disk", b.Build()});
+    scenarios.push_back({"failslow-disk", b.Build(), {}});
   }
   {
     fault::FaultPlanBuilder b;
     b.RepeatEpisodes(fault::FaultKind::kNodePause, /*node=*/0, kHorizon,
                      /*mean_gap=*/Millis(700), /*min_on=*/Millis(80), /*max_on=*/Millis(160),
                      /*severity=*/1.0, /*seed=*/102);
-    scenarios.push_back({"node-pause", b.Build()});
+    scenarios.push_back({"node-pause", b.Build(), {}});
   }
   {
     fault::FaultPlanBuilder b;
     b.RepeatEpisodes(fault::FaultKind::kNetworkDegrade, /*node=*/0, kHorizon,
                      /*mean_gap=*/Millis(900), /*min_on=*/Millis(300), /*max_on=*/Millis(700),
                      /*severity=*/40.0, /*seed=*/103);
-    scenarios.push_back({"net-degrade", b.Build()});
+    scenarios.push_back({"net-degrade", b.Build(), {}});
   }
   {
     fault::FaultPlanBuilder b;
     for (TimeNs t = Seconds(1); t < kHorizon; t += Seconds(4)) {
       b.NodeCrashRestart(/*node=*/0, t, /*restart_time=*/Millis(300));
     }
-    scenarios.push_back({"crash-restart", b.Build()});
+    scenarios.push_back({"crash-restart", b.Build(), {}});
   }
   return scenarios;
 }
@@ -101,7 +101,7 @@ std::vector<harness::FaultScenario> SsdScenarios() {
   for (TimeNs t = Millis(30); t < Seconds(10); t += Millis(250)) {
     b.SsdReadRetry(/*node=*/0, t, /*duration=*/Millis(150), /*multiplier=*/25.0, /*chip=*/-1);
   }
-  scenarios.push_back({"ssd-read-retry", b.Build()});
+  scenarios.push_back({"ssd-read-retry", b.Build(), {}});
   return scenarios;
 }
 

@@ -19,6 +19,9 @@ void MittosStrategy::Attempt(uint64_t key, int try_index, std::shared_ptr<GetDon
   // The last retry disables the deadline; otherwise users could get IO errors
   // even though data is available (§5, modification (3)).
   const DurationNs deadline = last_try ? sched::kNoDeadline : options_.deadline;
+  if (last_try) {
+    ++unbounded_tries_;
+  }
   const int node = replicas[static_cast<size_t>(try_index)];
   SendGet(
       node, key, deadline,

@@ -25,6 +25,9 @@ class MittosStrategy : public GetStrategy {
   void Get(uint64_t key, GetDoneFn done) override;
 
   uint64_t ebusy_failovers() const { return ebusy_failovers_; }
+  // Last-try sends with the deadline disabled (kNoDeadline) — the unbounded
+  // tail the resilience subsystem exists to eliminate.
+  uint64_t unbounded_tries() const { return unbounded_tries_; }
 
  private:
   void Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done,
@@ -32,6 +35,7 @@ class MittosStrategy : public GetStrategy {
 
   Options options_;
   uint64_t ebusy_failovers_ = 0;
+  uint64_t unbounded_tries_ = 0;
 };
 
 // The §7.8.1 extension client: tries carry the deadline and collect the

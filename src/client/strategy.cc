@@ -1,5 +1,7 @@
 #include "src/client/strategy.h"
 
+#include "src/resilience/deadline_budget.h"
+
 namespace mitt::client {
 
 GetStrategy::GetStrategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_t seed)
@@ -15,6 +17,10 @@ void GetStrategy::SendGet(int node, uint64_t key, DurationNs deadline,
 void GetStrategy::SendGetWithHint(int node, uint64_t key, DurationNs deadline,
                                   std::function<void(Status, DurationNs)> on_reply,
                                   obs::TraceContext trace) {
+  // Underflow guard at the send boundary: a caller whose remaining-deadline
+  // arithmetic went negative must read as "no time left" (0), never alias
+  // into kNoDeadline (-1) and disable the SLO.
+  deadline = resilience::ClampDeadline(deadline);
   cluster::Network& net = cluster_->network();
   cluster::Cluster* cluster = cluster_;
   // Both hops are tagged with the storage-node endpoint so per-link faults
@@ -22,6 +28,25 @@ void GetStrategy::SendGetWithHint(int node, uint64_t key, DurationNs deadline,
   net.Deliver(node,
               [cluster, node, key, deadline, trace, on_reply = std::move(on_reply)]() mutable {
                 cluster->node(node).HandleGetWithHint(
+                    key, deadline,
+                    [cluster, node, on_reply = std::move(on_reply)](Status status,
+                                                                   DurationNs hint) mutable {
+                      cluster->network().Deliver(node, [on_reply = std::move(on_reply), status,
+                                                        hint] { on_reply(status, hint); });
+                    },
+                    trace);
+              });
+}
+
+void GetStrategy::SendDegradedGet(int node, uint64_t key, DurationNs deadline,
+                                  std::function<void(Status, DurationNs)> on_reply,
+                                  obs::TraceContext trace) {
+  deadline = resilience::ClampDeadline(deadline);
+  cluster::Network& net = cluster_->network();
+  cluster::Cluster* cluster = cluster_;
+  net.Deliver(node,
+              [cluster, node, key, deadline, trace, on_reply = std::move(on_reply)]() mutable {
+                cluster->node(node).HandleDegradedGet(
                     key, deadline,
                     [cluster, node, on_reply = std::move(on_reply)](Status status,
                                                                    DurationNs hint) mutable {

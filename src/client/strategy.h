@@ -53,6 +53,13 @@ class GetStrategy {
                        std::function<void(Status, DurationNs)> on_reply,
                        obs::TraceContext trace = {});
 
+  // Round trip into the server's *degraded* read path (src/resilience/):
+  // bounded admission behind a load-shed gate, bounded escalating deadlines.
+  // Replies kUnavailable (+ wait hint) when the gate sheds.
+  void SendDegradedGet(int node, uint64_t key, DurationNs deadline,
+                       std::function<void(Status, DurationNs)> on_reply,
+                       obs::TraceContext trace = {});
+
   // Starts a trace for one logical get(): a fresh deterministic request id
   // when a tracer is attached and enabled, an untraced context otherwise.
   obs::TraceContext BeginTrace();

@@ -20,6 +20,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExhausted:
+      return "DEADLINE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -20,6 +20,11 @@ enum class StatusCode : uint8_t {
   kCancelled = 5,
   kUnavailable = 6,
   kInternal = 7,
+  // A deadline-budget get ran out of SLO before any replica answered: the
+  // remaining budget clamped to zero (see resilience::DeadlineBudget).
+  // Distinct from kTimeout so callers can tell "the budget accounting said
+  // stop" from "a per-attempt timer fired".
+  kDeadlineExhausted = 8,
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -38,6 +43,7 @@ class Status {
   static constexpr Status Cancelled() { return Status(StatusCode::kCancelled); }
   static constexpr Status Unavailable() { return Status(StatusCode::kUnavailable); }
   static constexpr Status Internal() { return Status(StatusCode::kInternal); }
+  static constexpr Status DeadlineExhausted() { return Status(StatusCode::kDeadlineExhausted); }
 
   constexpr bool ok() const { return code_ == StatusCode::kOk; }
   constexpr bool busy() const { return code_ == StatusCode::kEbusy; }

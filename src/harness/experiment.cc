@@ -123,6 +123,8 @@ std::string_view StrategyKindName(StrategyKind kind) {
       return "MittOS";
     case StrategyKind::kMittosWait:
       return "MittOS+wait";
+    case StrategyKind::kMittosResilient:
+      return "MittOS+res";
   }
   return "?";
 }
@@ -183,6 +185,12 @@ std::unique_ptr<client::GetStrategy> Experiment::MakeStrategy(StrategyKind kind,
       opt.deadline = deadline;
       return std::make_unique<client::MittosWaitStrategy>(sim, cluster, seed, opt);
     }
+    case StrategyKind::kMittosResilient: {
+      client::ResilientOptions opt = options_.resilience;
+      opt.name = "MittOS+res";
+      opt.deadline = deadline;
+      return std::make_unique<client::ResilientMittosStrategy>(sim, cluster, seed, opt);
+    }
   }
   return nullptr;
 }
@@ -197,14 +205,29 @@ void Experiment::CollectCounters(StrategyKind kind, const client::GetStrategy& s
     case StrategyKind::kHedged:
       out->hedges_sent = static_cast<const client::HedgedStrategy&>(strategy).hedges_sent();
       break;
-    case StrategyKind::kMittos:
-      out->ebusy_failovers =
-          static_cast<const client::MittosStrategy&>(strategy).ebusy_failovers();
+    case StrategyKind::kMittos: {
+      const auto& s = static_cast<const client::MittosStrategy&>(strategy);
+      out->ebusy_failovers = s.ebusy_failovers();
+      out->unbounded_deadline_tries = s.unbounded_tries();
       break;
-    case StrategyKind::kMittosWait:
-      out->ebusy_failovers =
-          static_cast<const client::MittosWaitStrategy&>(strategy).ebusy_failovers();
+    }
+    case StrategyKind::kMittosWait: {
+      const auto& s = static_cast<const client::MittosWaitStrategy&>(strategy);
+      out->ebusy_failovers = s.ebusy_failovers();
+      out->unbounded_deadline_tries = s.informed_last_tries();
       break;
+    }
+    case StrategyKind::kMittosResilient: {
+      const auto& s = static_cast<const client::ResilientMittosStrategy&>(strategy);
+      out->ebusy_failovers = s.ebusy_failovers();
+      out->timeouts_fired = s.timeouts_fired();
+      out->degraded_gets = s.degraded_gets();
+      out->degraded_sheds = s.degraded_sheds_seen();
+      out->deadline_exhausted = s.deadline_exhausted();
+      out->retry_denied = s.retry_denied();
+      out->max_sent_deadline = s.max_sent_deadline();
+      break;
+    }
     default:
       break;
   }
@@ -234,8 +257,9 @@ RunResult Experiment::Run(StrategyKind kind) {
   copt.node.handler_cpu = options_.handler_cpu;
   copt.node.os.backend = options_.backend;
   copt.node.os.cache.capacity_pages = options_.cache_pages;
-  copt.node.os.mitt_enabled =
-      kind == StrategyKind::kMittos || kind == StrategyKind::kMittosWait;
+  copt.node.os.mitt_enabled = kind == StrategyKind::kMittos ||
+                              kind == StrategyKind::kMittosWait ||
+                              kind == StrategyKind::kMittosResilient;
   copt.node.os.predictor = options_.predictor;
   copt.node.os.mitt_cfq = options_.mitt_cfq;
   copt.node.os.mitt_ssd = options_.mitt_ssd;
@@ -281,6 +305,15 @@ RunResult Experiment::Run(StrategyKind kind) {
       }
       break;
     case NoiseKind::kContinuous: {
+      if (options_.continuous_all_nodes) {
+        // Every replica under constant contention: the all-busy world where
+        // every hop returns EBUSY and only the degraded path completes gets.
+        for (int node = 0; node < options_.num_nodes; ++node) {
+          make_io_injector(node, {noise::NoiseEpisode{0, options_.noise_horizon,
+                                                      options_.continuous_intensity}});
+        }
+        break;
+      }
       const int node = options_.pin_primary_node >= 0 ? options_.pin_primary_node : 0;
       make_io_injector(node, {noise::NoiseEpisode{0, options_.noise_horizon,
                                                   options_.continuous_intensity}});

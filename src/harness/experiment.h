@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/client/resilient.h"
 #include "src/client/strategy.h"
 #include "src/cluster/cluster.h"
 #include "src/common/latency_recorder.h"
@@ -53,7 +54,8 @@ enum class StrategyKind {
   kSnitch,
   kC3,
   kMittos,
-  kMittosWait,  // §7.8.1 extension: EBUSY carries the predicted wait.
+  kMittosWait,       // §7.8.1 extension: EBUSY carries the predicted wait.
+  kMittosResilient,  // src/resilience/: budgeted, health-ordered, gated failover.
 };
 
 std::string_view StrategyKindName(StrategyKind kind);
@@ -105,6 +107,10 @@ struct ExperimentOptions {
   int8_t noise_priority = 4;
   int noise_streams = 2;            // Streams per intensity unit.
   int continuous_intensity = 2;     // Intensity for kContinuous.
+  // kContinuous default targets ONE node (the pinned primary); this floods
+  // every node instead — the all-replicas-busy world the degraded path is
+  // judged on.
+  bool continuous_all_nodes = false;
   int noise_only_node = -1;         // >=0: restrict noise to this node.
   double cache_drop_fraction = 0.2;
   DurationNs rotate_period = Seconds(1);
@@ -113,6 +119,10 @@ struct ExperimentOptions {
   // Faults (src/fault/). An empty plan injects nothing. Like noise, the same
   // plan replays identically for every strategy so CDFs stay comparable.
   fault::FaultPlan fault_plan;
+
+  // Resilience knobs for StrategyKind::kMittosResilient (deadline comes from
+  // `deadline` above; the name/deadline fields here are overridden).
+  client::ResilientOptions resilience;
 
   uint64_t seed = 42;
 };
@@ -128,6 +138,17 @@ struct RunResult {
   uint64_t user_errors = 0;  // Timeout surfaced to the user (no failover).
   uint64_t noise_ios = 0;    // IOs the noise injectors issued during the run.
   TimeNs sim_duration = 0;
+
+  // Resilience harvest (src/resilience/). For naive strategies,
+  // unbounded_deadline_tries counts deadline-disabled last-try sends; the
+  // resilient strategy keeps it at 0 and reports its largest sent deadline
+  // instead (the boundedness proof).
+  uint64_t degraded_gets = 0;
+  uint64_t degraded_sheds = 0;
+  uint64_t deadline_exhausted = 0;
+  uint64_t retry_denied = 0;
+  uint64_t unbounded_deadline_tries = 0;
+  DurationNs max_sent_deadline = 0;
 
   // Fault harvest (src/fault/): episodes fully applied during the run, in
   // clear order — the determinism check compares these across worker counts.

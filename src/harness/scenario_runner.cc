@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/table.h"
+#include "src/obs/export.h"
 
 namespace mitt::harness {
 namespace {
@@ -20,6 +21,11 @@ StrategyScore ScoreOf(const RunResult& r, const std::string& scenario,
   score.failovers = r.ebusy_failovers + r.hedges_sent + r.timeouts_fired;
   score.fault_episodes = r.fault_episodes;
   score.user_errors = r.user_errors;
+  score.degraded_gets = r.degraded_gets;
+  score.degraded_sheds = r.degraded_sheds;
+  score.deadline_exhausted = r.deadline_exhausted;
+  score.unbounded_tries = r.unbounded_deadline_tries;
+  score.max_sent_deadline_ms = ToMillis(r.max_sent_deadline);
   return score;
 }
 
@@ -46,6 +52,9 @@ std::vector<StrategyScore> ScenarioRunner::Run(const std::vector<FaultScenario>&
       Trial t;
       t.options = options_.base;
       t.options.fault_plan = scenario.plan;
+      if (scenario.customize) {
+        scenario.customize(t.options);
+      }
       if (t.options.deadline < 0) {
         t.options.deadline = slo_deadline_;
       }
@@ -77,13 +86,19 @@ std::vector<StrategyScore> ScenarioRunner::Run(const std::vector<FaultScenario>&
 void PrintScorecard(const std::vector<StrategyScore>& scores, DurationNs slo_deadline) {
   Table table({"scenario", "strategy", "p50 (ms)", "p95 (ms)", "p99 (ms)",
                "miss% @" + Table::Num(ToMillis(slo_deadline), 1) + "ms", "failovers",
-               "episodes", "errors"});
+               "episodes", "errors", "degraded", "sheds", "exhausted", "unbounded",
+               "maxDL (ms)"});
   for (const StrategyScore& s : scores) {
     table.AddRow({s.scenario, s.strategy, Table::Num(s.p50_ms, 2), Table::Num(s.p95_ms, 2),
                   Table::Num(s.p99_ms, 2), Table::Num(s.deadline_miss_pct, 2),
                   Table::Num(static_cast<double>(s.failovers), 0),
                   Table::Num(static_cast<double>(s.fault_episodes), 0),
-                  Table::Num(static_cast<double>(s.user_errors), 0)});
+                  Table::Num(static_cast<double>(s.user_errors), 0),
+                  Table::Num(static_cast<double>(s.degraded_gets), 0),
+                  Table::Num(static_cast<double>(s.degraded_sheds), 0),
+                  Table::Num(static_cast<double>(s.deadline_exhausted), 0),
+                  Table::Num(static_cast<double>(s.unbounded_tries), 0),
+                  Table::Num(s.max_sent_deadline_ms, 2)});
   }
   table.Print();
 }
@@ -93,12 +108,17 @@ std::string ScorecardJson(const std::vector<StrategyScore>& scores, DurationNs s
   out << "{\n  \"slo_deadline_ms\": " << ToMillis(slo_deadline) << ",\n  \"scores\": [\n";
   for (size_t i = 0; i < scores.size(); ++i) {
     const StrategyScore& s = scores[i];
-    out << "    {\"scenario\": \"" << s.scenario << "\", \"strategy\": \"" << s.strategy
-        << "\", \"p50_ms\": " << s.p50_ms << ", \"p95_ms\": " << s.p95_ms
-        << ", \"p99_ms\": " << s.p99_ms << ", \"deadline_miss_pct\": " << s.deadline_miss_pct
+    out << "    {\"scenario\": \"" << obs::JsonEscape(s.scenario) << "\", \"strategy\": \""
+        << obs::JsonEscape(s.strategy) << "\", \"p50_ms\": " << s.p50_ms
+        << ", \"p95_ms\": " << s.p95_ms << ", \"p99_ms\": " << s.p99_ms
+        << ", \"deadline_miss_pct\": " << s.deadline_miss_pct
         << ", \"failovers\": " << s.failovers << ", \"fault_episodes\": " << s.fault_episodes
-        << ", \"user_errors\": " << s.user_errors << "}" << (i + 1 < scores.size() ? "," : "")
-        << "\n";
+        << ", \"user_errors\": " << s.user_errors << ", \"degraded_gets\": " << s.degraded_gets
+        << ", \"degraded_sheds\": " << s.degraded_sheds
+        << ", \"deadline_exhausted\": " << s.deadline_exhausted
+        << ", \"unbounded_tries\": " << s.unbounded_tries
+        << ", \"max_sent_deadline_ms\": " << s.max_sent_deadline_ms << "}"
+        << (i + 1 < scores.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   return out.str();

@@ -20,6 +20,7 @@
 #ifndef MITTOS_HARNESS_SCENARIO_RUNNER_H_
 #define MITTOS_HARNESS_SCENARIO_RUNNER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,9 @@ namespace mitt::harness {
 struct FaultScenario {
   std::string name;
   fault::FaultPlan plan;
+  // Optional per-scenario world tweak, applied after the base options and the
+  // plan are installed (e.g. flip continuous_all_nodes for an all-busy world).
+  std::function<void(ExperimentOptions&)> customize;
 };
 
 struct StrategyScore {
@@ -43,6 +47,12 @@ struct StrategyScore {
   uint64_t failovers = 0;        // EBUSY failovers + hedges sent + timeouts fired.
   uint64_t fault_episodes = 0;   // Episodes that landed during the run.
   uint64_t user_errors = 0;
+  // Resilience columns (0 for strategies without the subsystem).
+  uint64_t degraded_gets = 0;        // Gets that used the bounded degraded path.
+  uint64_t degraded_sheds = 0;       // Admission-gate sheds the client saw.
+  uint64_t deadline_exhausted = 0;   // Budgets that hit zero before an accept.
+  uint64_t unbounded_tries = 0;      // Deadline-disabled sends (naive last try).
+  double max_sent_deadline_ms = 0;   // Largest deadline ever put on the wire.
 };
 
 class ScenarioRunner {

@@ -26,6 +26,7 @@
 #include "src/common/status.h"
 #include "src/obs/trace.h"
 #include "src/os/os.h"
+#include "src/resilience/admission_gate.h"
 #include "src/sim/simulator.h"
 
 namespace mitt::kv {
@@ -48,6 +49,13 @@ class DocStoreNode {
     bool exception_on_ebusy = false;  // Paper default: exceptionless path.
     int32_t server_pid = 1;
     os::OsOptions os;
+
+    // Degraded (all-replicas-busy) read path (src/resilience/): bounded
+    // admission behind a load-shed gate, bounded escalating deadlines —
+    // the replacement for the paper's deadline-disabled last try.
+    resilience::AdmissionGateOptions admission;
+    int degraded_max_attempts = 10;
+    DurationNs degraded_deadline_cap = Seconds(2);
   };
 
   // `shared_cpu` (optional) makes several nodes contend for one physical
@@ -69,6 +77,14 @@ class DocStoreNode {
   // client can pick the least-busy replica when all replicas reject.
   using RichReplyFn = std::function<void(Status, DurationNs predicted_wait)>;
   void HandleGetWithHint(uint64_t key, DurationNs deadline, RichReplyFn reply,
+                         obs::TraceContext trace = {});
+
+  // Degraded read (all replicas rejected): admission is bounded by the shed
+  // gate — over capacity replies kUnavailable (+ wait hint) immediately.
+  // Admitted reads loop on EBUSY, waiting out the predicted wait and
+  // escalating the deadline (capped at degraded_deadline_cap, never
+  // disabled), so completion is guaranteed without unbounded queueing.
+  void HandleDegradedGet(uint64_t key, DurationNs deadline, RichReplyFn reply,
                          obs::TraceContext trace = {});
 
   // Serves one put() — buffered write (§7.8.6).
@@ -99,6 +115,10 @@ class DocStoreNode {
   const Options& options() const { return options_; }
   uint64_t gets_served() const { return gets_served_; }
   uint64_t ebusy_returned() const { return ebusy_returned_; }
+  uint64_t degraded_admits() const { return degraded_gate_.admits(); }
+  uint64_t degraded_sheds() const { return degraded_gate_.sheds(); }
+  // Largest deadline the degraded path ever issued — the boundedness proof.
+  DurationNs degraded_max_deadline() const { return degraded_max_deadline_; }
 
  private:
   int64_t OffsetOfKey(uint64_t key) const {
@@ -107,6 +127,8 @@ class DocStoreNode {
   }
 
   void DoRead(uint64_t key, DurationNs deadline, RichReplyFn reply, obs::TraceContext trace);
+  void DegradedAttempt(uint64_t key, DurationNs deadline, int attempt, RichReplyFn reply,
+                       obs::TraceContext trace);
 
   sim::Simulator* sim_;
   int node_id_;
@@ -118,6 +140,8 @@ class DocStoreNode {
   uint64_t gets_served_ = 0;
   uint64_t ebusy_returned_ = 0;
   uint64_t crashes_ = 0;
+  resilience::AdmissionGate degraded_gate_;
+  DurationNs degraded_max_deadline_ = 0;
 };
 
 }  // namespace mitt::kv

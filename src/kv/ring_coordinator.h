@@ -14,6 +14,9 @@
 #include "src/cluster/network.h"
 #include "src/common/status.h"
 #include "src/lsm/lsm_node.h"
+#include "src/resilience/deadline_budget.h"
+#include "src/resilience/replica_health.h"
+#include "src/resilience/retry_policy.h"
 #include "src/sim/simulator.h"
 
 namespace mitt::kv {
@@ -24,6 +27,16 @@ class RingCoordinator {
     int replication = 3;
     DurationNs deadline = Millis(13);
     bool mitt_enabled = true;
+    // Resilience mode (src/resilience/): hops carry the *remaining* deadline
+    // budget (clamped at 0, never disabled), the failover walk is reordered
+    // by per-replica circuit breakers, and the all-replicas-EBUSY case goes
+    // through the nodes' bounded degraded path instead of a deadline-
+    // disabled last try.
+    bool resilience_enabled = false;
+    resilience::ReplicaHealthOptions health;
+    resilience::BackoffOptions backoff;
+    int degraded_max_rounds = 12;
+    uint64_t seed = 1;
   };
 
   RingCoordinator(sim::Simulator* sim, std::vector<lsm::LsmNode*> nodes,
@@ -39,15 +52,30 @@ class RingCoordinator {
   void Put(uint64_t key, std::function<void(Status)> done);
 
   uint64_t failovers() const { return failovers_; }
+  uint64_t unbounded_tries() const { return unbounded_tries_; }
+  uint64_t degraded_gets() const { return degraded_gets_; }
+  uint64_t degraded_sheds_seen() const { return degraded_sheds_seen_; }
+  DurationNs max_sent_deadline() const { return max_sent_deadline_; }
+  const resilience::ReplicaHealthTracker* health() const { return health_.get(); }
 
  private:
+  struct GetState;
+
   void Attempt(uint64_t key, int try_index, std::shared_ptr<std::function<void(Status)>> done);
+  void ResilientAttempt(std::shared_ptr<GetState> g);
+  void DegradedAttempt(std::shared_ptr<GetState> g, int round);
 
   sim::Simulator* sim_;
   std::vector<lsm::LsmNode*> nodes_;
   cluster::Network* network_;
   Options options_;
+  std::unique_ptr<resilience::ReplicaHealthTracker> health_;
+  std::unique_ptr<resilience::DecorrelatedJitterBackoff> backoff_;
   uint64_t failovers_ = 0;
+  uint64_t unbounded_tries_ = 0;
+  uint64_t degraded_gets_ = 0;
+  uint64_t degraded_sheds_seen_ = 0;
+  DurationNs max_sent_deadline_ = 0;
 };
 
 }  // namespace mitt::kv

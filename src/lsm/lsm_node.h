@@ -11,6 +11,7 @@
 #include "src/cluster/cpu_pool.h"
 #include "src/lsm/lsm_tree.h"
 #include "src/os/os.h"
+#include "src/resilience/admission_gate.h"
 #include "src/sim/simulator.h"
 
 namespace mitt::lsm {
@@ -22,19 +23,38 @@ class LsmNode {
     LsmTree::Options lsm;
     int cpu_cores = 8;
     DurationNs handler_cpu = Micros(30);
+
+    // Degraded (all-replicas-busy) read path (src/resilience/): bounded
+    // admission + bounded escalating deadlines, mirroring DocStoreNode.
+    resilience::AdmissionGateOptions admission;
+    int degraded_max_attempts = 10;
+    DurationNs degraded_deadline_cap = Seconds(2);
   };
 
   LsmNode(sim::Simulator* sim, int node_id, const Options& options);
 
   void HandleGet(uint64_t key, DurationNs deadline, std::function<void(Status)> reply);
+
+  // Degraded read behind the shed gate: kUnavailable when over capacity;
+  // admitted reads retry EBUSY with escalated (capped, never disabled)
+  // deadlines. The LSM read path carries no per-request wait hints, so the
+  // inter-attempt wait uses the device floor.
+  void HandleDegradedGet(uint64_t key, DurationNs deadline, std::function<void(Status)> reply);
+
   void HandlePut(uint64_t key, std::function<void(Status)> reply);
 
   int node_id() const { return node_id_; }
   os::Os& os() { return *os_; }
   LsmTree& lsm() { return *lsm_; }
   uint64_t ebusy_returned() const { return ebusy_returned_; }
+  uint64_t degraded_admits() const { return degraded_gate_.admits(); }
+  uint64_t degraded_sheds() const { return degraded_gate_.sheds(); }
+  DurationNs degraded_max_deadline() const { return degraded_max_deadline_; }
 
  private:
+  void DegradedAttempt(uint64_t key, DurationNs deadline, int attempt,
+                       std::function<void(Status)> reply);
+
   sim::Simulator* sim_;
   int node_id_;
   Options options_;
@@ -42,6 +62,8 @@ class LsmNode {
   std::unique_ptr<cluster::CpuPool> cpu_;
   std::unique_ptr<LsmTree> lsm_;
   uint64_t ebusy_returned_ = 0;
+  resilience::AdmissionGate degraded_gate_;
+  DurationNs degraded_max_deadline_ = 0;
 };
 
 }  // namespace mitt::lsm

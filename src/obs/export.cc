@@ -34,6 +34,43 @@ void AppendF(std::string& out, const char* fmt, ...) {
 
 }  // namespace
 
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendF(out, "\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 std::string ChromeTraceJson(std::span<const TraceGroup> groups) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -46,10 +83,12 @@ std::string ChromeTraceJson(std::span<const TraceGroup> groups) {
     for (const auto& [node, unused] : nodes) {
       AppendF(out, "%s\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":",
               first ? "" : ",", PidOf(g, node));
+      const std::string label = JsonEscape(groups[g].label);
       if (node < 0) {
-        AppendF(out, "\"%s/client\"}}", groups[g].label.c_str());
+        out += "\"" + label + "/client\"}}";
       } else {
-        AppendF(out, "\"%s/node%d\"}}", groups[g].label.c_str(), node);
+        out += "\"" + label + "/node";
+        AppendF(out, "%d\"}}", node);
       }
       first = false;
     }

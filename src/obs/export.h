@@ -34,10 +34,18 @@ struct TraceGroup {
 };
 
 // Serializes groups (in order) to Chrome trace_event JSON. Deterministic:
-// output depends only on the groups' contents and order.
+// output depends only on the groups' contents and order. Labels are escaped
+// with JsonEscape, so hostile strings (quotes, backslashes, control chars)
+// cannot break the document.
 std::string ChromeTraceJson(std::span<const TraceGroup> groups);
 std::string ChromeTraceJson(const std::vector<SpanRecord>& spans,
                             std::string_view label = "run");
+
+// Escapes a string for embedding inside a JSON string literal: quotes,
+// backslashes, and control characters (U+0000..U+001F as \uXXXX). Every
+// exporter that emits caller-supplied text (trace labels, scenario names)
+// must route it through here.
+std::string JsonEscape(std::string_view text);
 
 // Minimal structural JSON validator (objects, arrays, strings, numbers,
 // literals). Used by tests and the quickstart smoke test to check exported

@@ -20,6 +20,18 @@ std::string_view SpanKindName(SpanKind kind) {
       return "failover";
     case SpanKind::kFaultActive:
       return "fault_active";
+    case SpanKind::kBreakerOpen:
+      return "resilience.breaker_open";
+    case SpanKind::kBreakerHalfOpen:
+      return "resilience.breaker_half_open";
+    case SpanKind::kBreakerClose:
+      return "resilience.breaker_close";
+    case SpanKind::kDegradedGet:
+      return "resilience.degraded_get";
+    case SpanKind::kShed:
+      return "resilience.shed";
+    case SpanKind::kBackoff:
+      return "resilience.backoff";
   }
   return "?";
 }

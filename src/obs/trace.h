@@ -56,6 +56,13 @@ enum class SpanKind : uint8_t {
   kEbusyReject,    // Fast rejection (instant).
   kFailover,       // Client-side failover hop (instant).
   kFaultActive,    // src/fault/ episode window [inject, clear] on a node.
+  // src/resilience/ events ("resilience.*" in exported traces):
+  kBreakerOpen,      // Circuit breaker tripped open for a replica (instant).
+  kBreakerHalfOpen,  // Open window elapsed; probing allowed (instant).
+  kBreakerClose,     // Probe succeeded; replica back in rotation (instant).
+  kDegradedGet,      // All-busy degraded read issued to min-hint replica (instant).
+  kShed,             // Server admission gate shed a degraded read (instant).
+  kBackoff,          // Client retry backoff window [start, resume].
 };
 
 std::string_view SpanKindName(SpanKind kind);

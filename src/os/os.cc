@@ -123,7 +123,14 @@ void Os::TraceReadDone(const obs::TraceContext& trace, TimeNs begin, TimeNs end,
   }
 }
 
-void Os::ReadWithWaitHint(const ReadArgs& args, RichReadFn done) {
+void Os::ReadWithWaitHint(const ReadArgs& orig_args, RichReadFn done) {
+  ReadArgs args = orig_args;
+  // Defensive underflow clamp: a negative deadline that is not exactly
+  // kNoDeadline is client hop arithmetic gone wrong ("deadline - elapsed"
+  // past zero). It must read as "no time left", not alias into "no SLO".
+  if (args.deadline < 0 && args.deadline != sched::kNoDeadline) {
+    args.deadline = 0;
+  }
   obs::TraceContext trace = args.trace;
   trace.node = options_.node_label;
   const TimeNs t0 = sim_->Now();

@@ -1,0 +1,70 @@
+// DeadlineBudget: the remaining-SLO accounting for one replicated get.
+//
+// The paper's failover story re-sends the *full* deadline on every hop, so a
+// get that burns two failover round trips effectively promises the user
+// deadline + 2 RTTs — the SLO silently inflates with every retry. A
+// DeadlineBudget is anchored at the instant the user issued the get; every
+// hop asks Remaining(now) and sends only what is left, so the end-to-end
+// promise stays the one the user made.
+//
+// Underflow discipline (the PR's deadline audit): a late hop naively
+// computing `deadline - elapsed` can go negative, and a negative value is a
+// trap — sched::kNoDeadline is -1, so an underflow of exactly one tick turns
+// "you are out of time" into "take as long as you like". Remaining() clamps
+// at zero and never returns a negative value for a bounded budget; callers
+// detect exhaustion via Exhausted() and surface StatusCode::kDeadlineExhausted
+// instead of sending a corrupted deadline down the stack.
+
+#ifndef MITTOS_RESILIENCE_DEADLINE_BUDGET_H_
+#define MITTOS_RESILIENCE_DEADLINE_BUDGET_H_
+
+#include "src/common/time.h"
+#include "src/sched/io_request.h"
+
+namespace mitt::resilience {
+
+class DeadlineBudget {
+ public:
+  // `total` = the user's SLO; sched::kNoDeadline (or any negative value)
+  // means unlimited. `start` = the instant the logical get was issued.
+  DeadlineBudget(DurationNs total, TimeNs start) : total_(total), start_(start) {}
+
+  bool unlimited() const { return total_ < 0; }
+
+  // Time left of the SLO at `now`, clamped at 0. Unlimited budgets pass
+  // sched::kNoDeadline through unchanged.
+  DurationNs Remaining(TimeNs now) const {
+    if (unlimited()) {
+      return sched::kNoDeadline;
+    }
+    const DurationNs remaining = total_ - (now - start_);
+    return remaining > 0 ? remaining : 0;
+  }
+
+  bool Exhausted(TimeNs now) const { return !unlimited() && Remaining(now) == 0; }
+
+  // Elapsed wall time since the get was issued (network RTTs + server time
+  // + client-side backoffs all deduct through here).
+  DurationNs Elapsed(TimeNs now) const { return now - start_; }
+
+  DurationNs total() const { return total_; }
+  TimeNs start() const { return start_; }
+
+ private:
+  DurationNs total_;
+  TimeNs start_;
+};
+
+// Normalizes a deadline computed by hop arithmetic: any negative value that
+// is not exactly sched::kNoDeadline is an underflow and clamps to 0 ("no
+// time left") rather than aliasing into "no deadline".
+constexpr DurationNs ClampDeadline(DurationNs deadline) {
+  if (deadline == sched::kNoDeadline) {
+    return deadline;
+  }
+  return deadline < 0 ? 0 : deadline;
+}
+
+}  // namespace mitt::resilience
+
+#endif  // MITTOS_RESILIENCE_DEADLINE_BUDGET_H_

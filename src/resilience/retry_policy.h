@@ -1,0 +1,106 @@
+// Client-side retry governance: token-bucket retry budgets and
+// decorrelated-jitter backoff.
+//
+// EBUSY failovers are cheap and bounded (at most replication-1 extra hops),
+// but *non*-EBUSY retries — a dropped packet, a paused node, a partition —
+// are where retry storms come from: every client re-sending into a degraded
+// cluster multiplies the load that degraded it. Two standard controls:
+//
+//   * RetryBudget: a token bucket refilled by successful requests. A retry
+//     costs one token; when the bucket is dry the client waits for the
+//     outstanding attempt (or fails) instead of amplifying. The refill rate
+//     bounds cluster-wide retry amplification at ~refill_per_success.
+//   * DecorrelatedJitterBackoff: next = min(cap, uniform(base, prev * 3)) —
+//     spreads retries of synchronized clients apart instead of letting them
+//     re-collide every base*2^n (the classic exponential-backoff thundering
+//     herd). Deterministic: each instance owns a seeded Rng stream.
+
+#ifndef MITTOS_RESILIENCE_RETRY_POLICY_H_
+#define MITTOS_RESILIENCE_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+
+namespace mitt::resilience {
+
+struct RetryBudgetOptions {
+  // Tokens granted per successful request (fractional accrual).
+  double refill_per_success = 0.1;
+  // Bucket capacity: the largest retry burst one client may emit.
+  double burst = 3.0;
+  // Initial fill, so a client can retry before its first success.
+  double initial = 3.0;
+};
+
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryBudgetOptions& options)
+      : options_(options), tokens_(options.initial) {}
+
+  // A request completed successfully: accrue refill (capped at burst).
+  void OnSuccess() {
+    tokens_ += options_.refill_per_success;
+    if (tokens_ > options_.burst) {
+      tokens_ = options_.burst;
+    }
+  }
+
+  // Returns true and consumes one token if a retry is allowed now.
+  bool TryAcquire() {
+    if (tokens_ < 1.0) {
+      ++denied_;
+      return false;
+    }
+    tokens_ -= 1.0;
+    ++granted_;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+  uint64_t granted() const { return granted_; }
+  uint64_t denied() const { return denied_; }
+
+ private:
+  RetryBudgetOptions options_;
+  double tokens_;
+  uint64_t granted_ = 0;
+  uint64_t denied_ = 0;
+};
+
+struct BackoffOptions {
+  DurationNs base = Micros(500);
+  DurationNs cap = Millis(20);
+};
+
+// AWS-style decorrelated jitter: sleep = min(cap, uniform(base, prev * 3)).
+class DecorrelatedJitterBackoff {
+ public:
+  DecorrelatedJitterBackoff(const BackoffOptions& options, uint64_t seed)
+      : options_(options), rng_(seed), prev_(options.base) {}
+
+  DurationNs Next() {
+    const double lo = static_cast<double>(options_.base);
+    const double hi = static_cast<double>(prev_) * 3.0;
+    DurationNs sleep = hi <= lo ? options_.base
+                                : static_cast<DurationNs>(rng_.Uniform(lo, hi));
+    if (sleep > options_.cap) {
+      sleep = options_.cap;
+    }
+    prev_ = sleep;
+    return sleep;
+  }
+
+  // A success resets the ladder so the next incident starts from base.
+  void Reset() { prev_ = options_.base; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  DurationNs prev_;
+};
+
+}  // namespace mitt::resilience
+
+#endif  // MITTOS_RESILIENCE_RETRY_POLICY_H_

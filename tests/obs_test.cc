@@ -179,6 +179,34 @@ TEST(ChromeTraceJsonTest, EmptyTraceIsStillValid) {
   EXPECT_TRUE(ValidateJsonSyntax(json));
 }
 
+TEST(ChromeTraceJsonTest, HostileLabelsAreEscapedNotInjected) {
+  // Labels flow in from scenario/strategy names; a quote or backslash must
+  // not break (or rewrite) the exported document.
+  // Note the literal splice: "\x01" "ctl", not "\x01ctl" — \x greedily eats
+  // trailing hex digits, so the unspliced form is the single char 0x1c.
+  const std::string hostile = "ev\"il\\label\n\twith\x01" "ctl";
+  const std::string json =
+      ChromeTraceJson({Span(1, SpanKind::kSyscall, 0, 10, 0)}, hostile);
+  EXPECT_TRUE(ValidateJsonSyntax(json));
+  EXPECT_NE(json.find("ev\\\"il\\\\label\\n\\twith\\u0001ctl/node0"), std::string::npos);
+  // No raw quote survived inside the label (which would terminate the JSON
+  // string early and smuggle in attacker-controlled keys).
+  EXPECT_EQ(json.find("ev\"il"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("\n\r\t\b\f"), "\\n\\r\\t\\b\\f");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  // Round trip through the validator when embedded as a string value.
+  std::string quoted = "\"";
+  quoted += JsonEscape("x\"\\\n\x02y");
+  quoted += "\"";
+  EXPECT_TRUE(ValidateJsonSyntax(quoted));
+}
+
 TEST(JsonValidatorTest, AcceptsWellFormed) {
   EXPECT_TRUE(ValidateJsonSyntax("{}"));
   EXPECT_TRUE(ValidateJsonSyntax("[1, 2.5, -3e2, \"x\", true, false, null]"));
