@@ -4,10 +4,35 @@
 // (which must wait before reacting) while MittCFQ's instant rejection keeps
 // the amplification small. Expected: MittCFQ's reduction vs Hedged grows
 // with SF (up to ~35% at p95 with SF=5 in the paper).
+//
+// The grid also doubles as the intra-trial parallelism smoke: each trial is
+// sharded (num_shards=4) and the whole grid is run twice — once pinned to
+// one intra-trial worker, once with $MITT_INTRA_WORKERS (default 1) — with
+// wall-clock for both passes on stderr. The printed tables come from the
+// first pass and the second pass is asserted bit-identical, so stdout never
+// depends on the worker count (the engine's determinism contract).
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/harness/experiment.h"
+#include "src/sim/sharded_engine.h"
+
+namespace {
+
+// The fields the tables below are printed from, plus the raw counters that
+// would catch a divergence the percentile grid rounds away.
+bool SameResult(const mitt::harness::RunResult& a, const mitt::harness::RunResult& b) {
+  const std::vector<double> pcts = {50, 75, 90, 95, 99, 99.9};
+  return a.requests == b.requests && a.user_errors == b.user_errors &&
+         a.ebusy_failovers == b.ebusy_failovers && a.sim_events == b.sim_events &&
+         a.sim_duration == b.sim_duration &&
+         a.get_latencies.Percentiles(pcts) == b.get_latencies.Percentiles(pcts) &&
+         a.user_latencies.Percentiles(pcts) == b.user_latencies.Percentiles(pcts);
+}
+
+}  // namespace
 
 int main() {
   using namespace mitt;
@@ -21,6 +46,8 @@ int main() {
   base_opt.noise = harness::NoiseKind::kEc2;
   base_opt.ec2 = harness::CompressedEc2Noise();
   base_opt.seed = 20170102;
+  base_opt.num_shards = 4;  // Shard even this small ring so the PDES engine
+                            // (not the legacy loop) runs the trial.
 
   // Derive the p95 deadline once, at SF=1 (the paper keeps 13ms throughout).
   harness::Experiment probe(base_opt);
@@ -43,7 +70,32 @@ int main() {
     trials.push_back({opt, StrategyKind::kHedged, ""});
     trials.push_back({opt, StrategyKind::kMittos, ""});
   }
-  const auto results = harness::RunTrialsParallel(trials);
+
+  // Pass 1: every trial pinned to one intra-trial worker (the sequential
+  // baseline). Pass 2: the env-configured worker count. Both on stderr so
+  // stdout stays a pure function of the simulation.
+  std::vector<harness::Trial> pinned = trials;
+  for (auto& t : pinned) t.options.intra_workers = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = harness::RunTrialsParallel(pinned);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto results_mw = harness::RunTrialsParallel(trials);
+  const auto t2 = std::chrono::steady_clock::now();
+  std::fprintf(stderr, "[fig6_scale] grid wall before (intra_workers=1): %.2fs\n",
+               std::chrono::duration<double>(t1 - t0).count());
+  std::fprintf(stderr, "[fig6_scale] grid wall after  (intra_workers=%d): %.2fs\n",
+               sim::DefaultIntraWorkers(),
+               std::chrono::duration<double>(t2 - t1).count());
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!SameResult(results[i], results_mw[i])) {
+      std::fprintf(stderr,
+                   "[fig6_scale] DETERMINISM VIOLATION: trial %zu diverged between "
+                   "intra_workers=1 and intra_workers=%d\n",
+                   i, sim::DefaultIntraWorkers());
+      return 1;
+    }
+  }
 
   for (size_t i = 0; i < scale_factors.size(); ++i) {
     const auto& base = results[3 * i];

@@ -24,15 +24,22 @@ void GetStrategy::SendGetWithHint(int node, uint64_t key, DurationNs deadline,
   cluster::Network& net = cluster_->network();
   cluster::Cluster* cluster = cluster_;
   // Both hops are tagged with the storage-node endpoint so per-link faults
-  // (src/fault/) hit requests to / replies from that node.
-  net.Deliver(node,
-              [cluster, node, key, deadline, trace, on_reply = std::move(on_reply)]() mutable {
+  // (src/fault/) hit requests to / replies from that node. The request hop
+  // runs on the node's shard; the reply hop routes back to this client's
+  // home shard so the continuation fires on the simulator that issued it.
+  const int home = sim_->shard_id();
+  net.Deliver(node, net.ShardOfNode(node),
+              [cluster, node, home, key, deadline, trace,
+               on_reply = std::move(on_reply)]() mutable {
                 cluster->node(node).HandleGetWithHint(
                     key, deadline,
-                    [cluster, node, on_reply = std::move(on_reply)](Status status,
-                                                                   DurationNs hint) mutable {
-                      cluster->network().Deliver(node, [on_reply = std::move(on_reply), status,
-                                                        hint] { on_reply(status, hint); });
+                    [cluster, node, home, on_reply = std::move(on_reply)](
+                        Status status, DurationNs hint) mutable {
+                      cluster->network().Deliver(
+                          node, home,
+                          [on_reply = std::move(on_reply), status, hint] {
+                            on_reply(status, hint);
+                          });
                     },
                     trace);
               });
@@ -44,14 +51,19 @@ void GetStrategy::SendDegradedGet(int node, uint64_t key, DurationNs deadline,
   deadline = resilience::ClampDeadline(deadline);
   cluster::Network& net = cluster_->network();
   cluster::Cluster* cluster = cluster_;
-  net.Deliver(node,
-              [cluster, node, key, deadline, trace, on_reply = std::move(on_reply)]() mutable {
+  const int home = sim_->shard_id();
+  net.Deliver(node, net.ShardOfNode(node),
+              [cluster, node, home, key, deadline, trace,
+               on_reply = std::move(on_reply)]() mutable {
                 cluster->node(node).HandleDegradedGet(
                     key, deadline,
-                    [cluster, node, on_reply = std::move(on_reply)](Status status,
-                                                                   DurationNs hint) mutable {
-                      cluster->network().Deliver(node, [on_reply = std::move(on_reply), status,
-                                                        hint] { on_reply(status, hint); });
+                    [cluster, node, home, on_reply = std::move(on_reply)](
+                        Status status, DurationNs hint) mutable {
+                      cluster->network().Deliver(
+                          node, home,
+                          [on_reply = std::move(on_reply), status, hint] {
+                            on_reply(status, hint);
+                          });
                     },
                     trace);
               });

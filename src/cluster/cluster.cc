@@ -1,5 +1,9 @@
 #include "src/cluster/cluster.h"
 
+#include <cassert>
+
+#include "src/sim/sharded_engine.h"
+
 namespace mitt::cluster {
 
 Cluster::Cluster(sim::Simulator* sim, const Options& options) : options_(options) {
@@ -11,6 +15,24 @@ Cluster::Cluster(sim::Simulator* sim, const Options& options) : options_(options
   for (int i = 0; i < options_.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<kv::DocStoreNode>(sim, i, options_.node,
                                                         shared_cpu_.get()));
+  }
+}
+
+Cluster::Cluster(sim::ShardedEngine* engine, const Options& options) : options_(options) {
+  assert(options_.shared_cpu_cores == 0 && "shared CPU pool is cross-shard state");
+  const int num_shards = engine->num_shards();
+  network_ = std::make_unique<Network>(engine->shard(0), options_.network,
+                                       options_.seed ^ 0xBEEF);
+  std::vector<int> node_shard(static_cast<size_t>(options_.num_nodes));
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    node_shard[static_cast<size_t>(i)] =
+        static_cast<int>(static_cast<int64_t>(i) * num_shards / options_.num_nodes);
+  }
+  network_->AttachShards(engine, node_shard);
+  nodes_.reserve(static_cast<size_t>(options_.num_nodes));
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<kv::DocStoreNode>(
+        engine->shard(node_shard[static_cast<size_t>(i)]), i, options_.node, nullptr));
   }
 }
 

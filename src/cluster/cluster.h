@@ -28,10 +28,22 @@ class Cluster {
 
   Cluster(sim::Simulator* sim, const Options& options);
 
+  // Sharded deployment: node n lives on shard n*S/N (contiguous blocks, so
+  // a replica group of consecutive ring successors usually shares a shard),
+  // each node's full stack (OS, devices, scheduler, cache) built on its
+  // shard's simulator. The network is attached to the engine with the
+  // node->shard map; shard counts must not depend on worker count (the
+  // engine's determinism contract). Incompatible with shared_cpu_cores — a
+  // shared CPU pool is inherently cross-node state.
+  Cluster(sim::ShardedEngine* engine, const Options& options);
+
   kv::DocStoreNode& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   Network& network() { return *network_; }
   const Options& options() const { return options_; }
+
+  // Shard owning node i (0 when built on a plain Simulator).
+  int shard_of_node(int i) const { return network_->ShardOfNode(i); }
 
   // The `replication` nodes holding `key`, primary first.
   std::vector<int> ReplicasOf(uint64_t key) const;

@@ -37,6 +37,22 @@ void LatencyRecorder::Clear() {
   scratch_state_ = ScratchState::kStale;
 }
 
+void LatencyRecorder::MergeFrom(const LatencyRecorder& other) {
+  if (other.samples_.empty()) {
+    return;
+  }
+  if (samples_.empty()) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sum_ += other.sum_;
+  scratch_state_ = ScratchState::kStale;
+}
+
 void LatencyRecorder::EnsureCopied() const {
   if (scratch_state_ == ScratchState::kStale) {
     scratch_ = samples_;  // Reuses the scratch buffer's capacity.

@@ -30,6 +30,10 @@ class LatencyRecorder {
   void Record(DurationNs latency);
   void Clear();
 
+  // Appends every sample from `other` (sharded harvest: per-shard recorders
+  // merged in shard order, so the combined sample sequence is deterministic).
+  void MergeFrom(const LatencyRecorder& other);
+
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 

@@ -1,6 +1,8 @@
 #include "src/common/rng.h"
 
 #include <cmath>
+#include <mutex>
+#include <vector>
 
 namespace mitt {
 namespace {
@@ -90,11 +92,42 @@ double Zeta(uint64_t n, double theta) {
   return sum;
 }
 
+// Zeta is a pure function but O(n); a fleet-scale trial builds thousands of
+// client workloads over the same multi-million-key keyspace, and without the
+// cache the harmonic scans dominate trial setup. Duplicate computation under
+// the race window is harmless (both threads store the identical value).
+double ZetaCached(uint64_t n, double theta) {
+  struct Entry {
+    uint64_t n;
+    double theta;
+    double zeta;
+  };
+  static std::mutex mu;
+  static std::vector<Entry> cache;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (const Entry& e : cache) {
+      if (e.n == n && e.theta == theta) {
+        return e.zeta;
+      }
+    }
+  }
+  const double zeta = Zeta(n, theta);
+  const std::lock_guard<std::mutex> lock(mu);
+  for (const Entry& e : cache) {
+    if (e.n == n && e.theta == theta) {
+      return e.zeta;
+    }
+  }
+  cache.push_back({n, theta, zeta});
+  return zeta;
+}
+
 }  // namespace
 
 ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
   zeta2theta_ = Zeta(2, theta);
-  zetan_ = Zeta(n, theta);
+  zetan_ = ZetaCached(n, theta);
   alpha_ = 1.0 / (1.0 - theta);
   eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2theta_ / zetan_);
 }

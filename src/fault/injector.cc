@@ -5,6 +5,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/sim/sharded_engine.h"
 
 namespace mitt::fault {
 
@@ -20,10 +21,18 @@ void FaultInjector::Start() {
   for (size_t i = 0; i < plan_.size(); ++i) {
     const FaultEpisode& e = plan_.episodes()[i];
     const DurationNs delay = e.start > now ? e.start - now : 0;
-    // Daemon: a pending fault schedule must not keep Run() alive once the
-    // workload has drained.
-    sim_->ScheduleDaemon(delay, [this, i] { Begin(i); });
+    // Daemon-like: a pending fault schedule must not keep Run() alive once
+    // the workload has drained.
+    ScheduleFaultEvent(delay, [this, i] { Begin(i); });
   }
+}
+
+void FaultInjector::ScheduleFaultEvent(DurationNs delay, sim::Callback fn) {
+  if (sim::ShardedEngine* engine = sim_->engine(); engine != nullptr) {
+    engine->ScheduleGlobal(sim_->Now() + delay, std::move(fn));
+    return;
+  }
+  sim_->ScheduleDaemon(delay, std::move(fn));
 }
 
 bool FaultInjector::Applicable(const FaultEpisode& e) const {
@@ -96,7 +105,7 @@ void FaultInjector::Begin(size_t index) {
       const DurationNs ramp = e.duration / 4;
       for (int s = 1; s <= kRampSteps; ++s) {
         const double m = 1.0 + (e.severity - 1.0) * s / kRampSteps;
-        sim_->ScheduleDaemon(ramp * s / kRampSteps, [this, index, m] {
+        ScheduleFaultEvent(ramp * s / kRampSteps, [this, index, m] {
           ApplyDiskMultiplier(plan_.episodes()[index], m);
         });
       }
@@ -122,7 +131,7 @@ void FaultInjector::Begin(size_t index) {
       break;
   }
 
-  sim_->ScheduleDaemon(e.duration, [this, index, begin_time] { End(index, begin_time); });
+  ScheduleFaultEvent(e.duration, [this, index, begin_time] { End(index, begin_time); });
 }
 
 void FaultInjector::End(size_t index, TimeNs actual_start) {

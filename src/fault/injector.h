@@ -51,6 +51,12 @@ class FaultInjector {
 
   void Begin(size_t index);
   void End(size_t index, TimeNs actual_start);
+  // Sharded worlds (sim->engine() != nullptr) run every fault transition as
+  // a ShardedEngine *global event* — executed while all shards are quiesced,
+  // because faults mutate cross-shard state (network links, remote nodes).
+  // Unsharded worlds keep the legacy daemon scheduling, bit-identical with
+  // prior releases. Both variants never keep the run alive on their own.
+  void ScheduleFaultEvent(DurationNs delay, sim::Callback fn);
   // True if the episode's target exists in this world.
   bool Applicable(const FaultEpisode& episode) const;
   void ApplyDiskMultiplier(const FaultEpisode& episode, double multiplier);

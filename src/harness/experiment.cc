@@ -16,6 +16,7 @@
 #include "src/common/table.h"
 #include "src/fault/injector.h"
 #include "src/noise/noise_injector.h"
+#include "src/sim/sharded_engine.h"
 #include "src/workload/macro_workload.h"
 
 namespace mitt::harness {
@@ -27,7 +28,25 @@ DurationNs Resolve(DurationNs value, DurationNs fallback) {
   return value >= 0 ? value : fallback;
 }
 
+// Decorrelates per-shard seed streams (strategy instances, id namespaces).
+constexpr uint64_t kShardSeedStride = 0x9E37'79B9'7F4A'7C15ULL;
+
 }  // namespace
+
+int ResolveShards(const ExperimentOptions& options) {
+  if (options.shared_cpu_cores > 0) {
+    return 1;  // A shared CPU pool is inherently cross-shard state.
+  }
+  if (options.num_shards > 0) {
+    return std::min(options.num_shards, options.num_nodes);
+  }
+  // Auto: small paper-scale topologies stay on the legacy single-threaded
+  // engine (zero window overhead); fleet-scale worlds get ~32 nodes/shard.
+  if (options.num_nodes < 64) {
+    return 1;
+  }
+  return std::min(32, options.num_nodes / 32);
+}
 
 int DefaultTrialWorkers() {
   if (const char* env = std::getenv("MITT_TRIAL_WORKERS")) {
@@ -145,8 +164,9 @@ noise::Ec2NoiseParams CompressedEc2Noise() {
 
 std::unique_ptr<client::GetStrategy> Experiment::MakeStrategy(StrategyKind kind,
                                                               sim::Simulator* sim,
-                                                              cluster::Cluster* cluster) {
-  const uint64_t seed = options_.seed ^ 0xC11E'47F0;
+                                                              cluster::Cluster* cluster,
+                                                              uint64_t seed_salt) {
+  const uint64_t seed = (options_.seed ^ 0xC11E'47F0) + kShardSeedStride * seed_salt;
   const DurationNs deadline = Resolve(options_.deadline, kFallbackDeadline);
   switch (kind) {
     case StrategyKind::kBase: {
@@ -200,32 +220,33 @@ void Experiment::CollectCounters(StrategyKind kind, const client::GetStrategy& s
   switch (kind) {
     case StrategyKind::kBase:
     case StrategyKind::kAppTimeout:
-      out->timeouts_fired = static_cast<const client::TimeoutStrategy&>(strategy).timeouts_fired();
+      out->timeouts_fired +=
+          static_cast<const client::TimeoutStrategy&>(strategy).timeouts_fired();
       break;
     case StrategyKind::kHedged:
-      out->hedges_sent = static_cast<const client::HedgedStrategy&>(strategy).hedges_sent();
+      out->hedges_sent += static_cast<const client::HedgedStrategy&>(strategy).hedges_sent();
       break;
     case StrategyKind::kMittos: {
       const auto& s = static_cast<const client::MittosStrategy&>(strategy);
-      out->ebusy_failovers = s.ebusy_failovers();
-      out->unbounded_deadline_tries = s.unbounded_tries();
+      out->ebusy_failovers += s.ebusy_failovers();
+      out->unbounded_deadline_tries += s.unbounded_tries();
       break;
     }
     case StrategyKind::kMittosWait: {
       const auto& s = static_cast<const client::MittosWaitStrategy&>(strategy);
-      out->ebusy_failovers = s.ebusy_failovers();
-      out->unbounded_deadline_tries = s.informed_last_tries();
+      out->ebusy_failovers += s.ebusy_failovers();
+      out->unbounded_deadline_tries += s.informed_last_tries();
       break;
     }
     case StrategyKind::kMittosResilient: {
       const auto& s = static_cast<const client::ResilientMittosStrategy&>(strategy);
-      out->ebusy_failovers = s.ebusy_failovers();
-      out->timeouts_fired = s.timeouts_fired();
-      out->degraded_gets = s.degraded_gets();
-      out->degraded_sheds = s.degraded_sheds_seen();
-      out->deadline_exhausted = s.deadline_exhausted();
-      out->retry_denied = s.retry_denied();
-      out->max_sent_deadline = s.max_sent_deadline();
+      out->ebusy_failovers += s.ebusy_failovers();
+      out->timeouts_fired += s.timeouts_fired();
+      out->degraded_gets += s.degraded_gets();
+      out->degraded_sheds += s.degraded_sheds_seen();
+      out->deadline_exhausted += s.deadline_exhausted();
+      out->retry_denied += s.retry_denied();
+      out->max_sent_deadline = std::max(out->max_sent_deadline, s.max_sent_deadline());
       break;
     }
     default:
@@ -233,19 +254,7 @@ void Experiment::CollectCounters(StrategyKind kind, const client::GetStrategy& s
   }
 }
 
-RunResult Experiment::Run(StrategyKind kind) {
-  // Declared before the simulator so every world component is torn down
-  // before its observability sinks.
-  obs::MetricsRegistry metrics;
-  std::unique_ptr<obs::Tracer> tracer;
-
-  sim::Simulator sim;
-  sim.set_metrics(&metrics);
-  if (options_.trace) {
-    tracer = std::make_unique<obs::Tracer>(options_.trace_capacity);
-    sim.set_tracer(tracer.get());
-  }
-
+cluster::Cluster::Options Experiment::BuildClusterOptions(StrategyKind kind) const {
   cluster::Cluster::Options copt;
   copt.num_nodes = options_.num_nodes;
   copt.replication = std::min(3, options_.num_nodes);
@@ -264,16 +273,16 @@ RunResult Experiment::Run(StrategyKind kind) {
   copt.node.os.mitt_cfq = options_.mitt_cfq;
   copt.node.os.mitt_ssd = options_.mitt_ssd;
   copt.node.os.seed = options_.seed;
+  return copt;
+}
 
-  cluster::Cluster cluster(&sim, copt);
-  if (options_.warm_fraction > 0) {
-    cluster.WarmAll(options_.warm_fraction);
-  }
-
-  // --- Noise (identical schedules for every strategy) ---
-  std::vector<std::unique_ptr<noise::IoNoiseInjector>> io_noise;
-  std::vector<std::unique_ptr<noise::CacheNoiseInjector>> cache_noise;
-  std::vector<std::unique_ptr<workload::MacroWorkload>> macro_noise;
+void Experiment::BuildNoise(cluster::Cluster& cluster,
+                            std::vector<std::unique_ptr<noise::IoNoiseInjector>>& io_noise,
+                            std::vector<std::unique_ptr<noise::CacheNoiseInjector>>& cache_noise,
+                            std::vector<std::unique_ptr<workload::MacroWorkload>>& macro_noise) {
+  // Every injector runs on its node's own simulator (that node's shard in a
+  // sharded world, the single legacy simulator otherwise) — noise is node-
+  // local by construction, so it never crosses a shard boundary.
   const noise::Ec2NoiseModel ec2(options_.ec2, options_.seed ^ 0xEC2);
 
   auto make_io_injector = [&](int node, std::vector<noise::NoiseEpisode> schedule) {
@@ -288,7 +297,7 @@ RunResult Experiment::Run(StrategyKind kind) {
     opt.io_class = options_.noise_class;
     opt.priority = options_.noise_priority;
     io_noise.push_back(std::make_unique<noise::IoNoiseInjector>(
-        &sim, &n.os(), noise_file, noise_file_size, std::move(schedule), opt,
+        n.sim(), &n.os(), noise_file, noise_file_size, std::move(schedule), opt,
         options_.seed ^ (0x4015EULL + static_cast<uint64_t>(node))));
     io_noise.back()->Start();
   };
@@ -342,7 +351,7 @@ RunResult Experiment::Run(StrategyKind kind) {
           schedule = ec2.GenerateSchedule(node, options_.noise_horizon);
         }
         cache_noise.push_back(std::make_unique<noise::CacheNoiseInjector>(
-            &sim, &n.os(), std::move(schedule), opt,
+            n.sim(), &n.os(), std::move(schedule), opt,
             options_.seed ^ (0xCACEULL + static_cast<uint64_t>(node))));
         cache_noise.back()->Start();
       }
@@ -367,7 +376,7 @@ RunResult Experiment::Run(StrategyKind kind) {
         opt.threads = 3;
         opt.pid = 8000 + node;
         macro_noise.push_back(std::make_unique<workload::MacroWorkload>(
-            &sim, &n.os(), file, file_size, opt,
+            n.sim(), &n.os(), file, file_size, opt,
             options_.seed ^ (0x3ACULL + static_cast<uint64_t>(node))));
         macro_noise.back()->Start(options_.noise_horizon);
         if (node % 4 == 0) {
@@ -376,13 +385,42 @@ RunResult Experiment::Run(StrategyKind kind) {
           hopt.threads = 2;
           hopt.pid = 8500 + node;
           macro_noise.push_back(std::make_unique<workload::MacroWorkload>(
-              &sim, &n.os(), file, file_size, hopt,
+              n.sim(), &n.os(), file, file_size, hopt,
               options_.seed ^ (0x4ADULL + static_cast<uint64_t>(node))));
           macro_noise.back()->Start(options_.noise_horizon);
         }
       }
       break;
   }
+}
+
+RunResult Experiment::Run(StrategyKind kind) {
+  if (const int shards = ResolveShards(options_); shards > 1) {
+    return RunSharded(kind, shards);
+  }
+
+  // Declared before the simulator so every world component is torn down
+  // before its observability sinks.
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<obs::Tracer> tracer;
+
+  sim::Simulator sim;
+  sim.set_metrics(&metrics);
+  if (options_.trace) {
+    tracer = std::make_unique<obs::Tracer>(options_.trace_capacity);
+    sim.set_tracer(tracer.get());
+  }
+
+  cluster::Cluster cluster(&sim, BuildClusterOptions(kind));
+  if (options_.warm_fraction > 0) {
+    cluster.WarmAll(options_.warm_fraction);
+  }
+
+  // --- Noise (identical schedules for every strategy) ---
+  std::vector<std::unique_ptr<noise::IoNoiseInjector>> io_noise;
+  std::vector<std::unique_ptr<noise::CacheNoiseInjector>> cache_noise;
+  std::vector<std::unique_ptr<workload::MacroWorkload>> macro_noise;
+  BuildNoise(cluster, io_noise, cache_noise, macro_noise);
 
   // --- Faults (same plan replayed for every strategy) ---
   std::unique_ptr<fault::FaultInjector> faults;
@@ -476,6 +514,7 @@ RunResult Experiment::Run(StrategyKind kind) {
     result.noise_ios += injector->ios_issued();
   }
   result.sim_duration = sim.Now();
+  result.sim_events = sim.executed_events();
   if (faults != nullptr) {
     result.fault_log = faults->applied();
     result.fault_episodes = faults->episodes_begun();
@@ -487,6 +526,215 @@ RunResult Experiment::Run(StrategyKind kind) {
     result.trace_dropped = tracer->dropped();
   }
   result.metrics = std::move(metrics);
+  return result;
+}
+
+RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
+  // Per-shard observability sinks, declared before the engine so every world
+  // component is torn down before what it writes into. Merged in shard order
+  // at harvest — the merge order is part of the determinism contract.
+  std::vector<obs::MetricsRegistry> metrics(static_cast<size_t>(num_shards));
+  std::vector<std::unique_ptr<obs::Tracer>> tracers(static_cast<size_t>(num_shards));
+
+  const cluster::Cluster::Options copt = BuildClusterOptions(kind);
+
+  sim::ShardedEngine::Options eopt;
+  eopt.num_shards = num_shards;
+  eopt.lookahead = cluster::MinOneWayHop(copt.network);
+  eopt.workers = options_.intra_workers;
+  sim::ShardedEngine engine(eopt);
+
+  for (int s = 0; s < num_shards; ++s) {
+    engine.shard(s)->set_metrics(&metrics[static_cast<size_t>(s)]);
+    if (options_.trace) {
+      auto& tracer = tracers[static_cast<size_t>(s)];
+      tracer = std::make_unique<obs::Tracer>(options_.trace_capacity);
+      // Shard-namespaced ids: no collisions, home shard readable from the id.
+      tracer->SetRequestIdBase(static_cast<uint64_t>(s) << 40);
+      engine.shard(s)->set_tracer(tracer.get());
+    }
+  }
+
+  cluster::Cluster cluster(&engine, copt);
+  if (options_.warm_fraction > 0) {
+    cluster.WarmAll(options_.warm_fraction);
+  }
+
+  std::vector<std::unique_ptr<noise::IoNoiseInjector>> io_noise;
+  std::vector<std::unique_ptr<noise::CacheNoiseInjector>> cache_noise;
+  std::vector<std::unique_ptr<workload::MacroWorkload>> macro_noise;
+  BuildNoise(cluster, io_noise, cache_noise, macro_noise);
+
+  // Fault episodes mutate cross-shard state (network links, whole nodes), so
+  // the injector schedules them as engine-global events (see
+  // FaultInjector::ScheduleFaultEvent); building it on shard 0 keeps its
+  // clock and RNG on the legacy stream.
+  std::unique_ptr<fault::FaultInjector> faults;
+  if (!options_.fault_plan.empty()) {
+    faults = std::make_unique<fault::FaultInjector>(engine.shard(0), &cluster,
+                                                    options_.fault_plan);
+    faults->Start();
+  }
+
+  RunResult result;
+  result.name = std::string(StrategyKindName(kind));
+
+  // Each shard gets its own strategy instance (salted seed stream) and its
+  // own harvest sinks; clients are dealt round-robin onto shards and drive
+  // their home shard's strategy only, so all driver state is shard-local.
+  // Replies are routed back to the request's home shard (see
+  // client/strategy.cc and kv/ring_coordinator.cc), which makes every
+  // mutation below single-threaded within a window.
+  struct ShardCtx {
+    std::unique_ptr<client::GetStrategy> strategy;
+    LatencyRecorder get_latencies;
+    LatencyRecorder user_latencies;
+    uint64_t user_errors = 0;
+    size_t completed = 0;
+  };
+  std::vector<ShardCtx> shard_ctx(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shard_ctx[static_cast<size_t>(s)].strategy =
+        MakeStrategy(kind, engine.shard(s), &cluster, static_cast<uint64_t>(s));
+  }
+
+  const size_t target = options_.warmup_requests + options_.measure_requests;
+  const uint64_t keyspace = static_cast<uint64_t>(options_.num_keys_per_node) *
+                            static_cast<uint64_t>(options_.num_nodes);
+  const size_t num_clients = static_cast<size_t>(options_.num_clients);
+
+  // The legacy driver splits warmup from measurement with one global issue
+  // counter; sharded trials cannot share a counter without racing, so each
+  // client gets a fixed quota (and warmup share) up front. The split is a
+  // pure function of (client count, request counts) — independent of worker
+  // count, so scorecards stay bit-identical across MITT_INTRA_WORKERS.
+  struct Client {
+    std::unique_ptr<workload::YcsbWorkload> workload;
+    Rng rng{0};
+    int shard = 0;
+    size_t quota = 0;        // Requests this client will issue in total.
+    size_t warmup = 0;       // First `warmup` of them are unmeasured.
+    size_t issued = 0;
+  };
+  auto clients = std::make_shared<std::vector<Client>>(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    Client& cl = (*clients)[c];
+    workload::YcsbWorkload::Options wopt;
+    wopt.num_keys = keyspace;
+    wopt.distribution = options_.distribution;
+    wopt.seed = options_.seed ^ (0xC0FFEEULL + static_cast<uint64_t>(c));
+    cl.workload = std::make_unique<workload::YcsbWorkload>(wopt);
+    cl.rng = Rng(wopt.seed ^ 0x77);
+    cl.shard = static_cast<int>(c % static_cast<size_t>(num_shards));
+    cl.quota = target / num_clients + (c < target % num_clients ? 1 : 0);
+    cl.warmup = options_.warmup_requests / num_clients +
+                (c < options_.warmup_requests % num_clients ? 1 : 0);
+  }
+
+  auto next_key = [&, this](Client& cl) -> uint64_t {
+    for (int attempt = 0; attempt < 512; ++attempt) {
+      const uint64_t key = cl.workload->Next().key;
+      if (options_.pin_primary_node < 0 ||
+          cluster.ReplicasOf(key)[0] == options_.pin_primary_node) {
+        return key;
+      }
+    }
+    return 0;
+  };
+
+  // Closed-loop driver; runs entirely on the client's home shard.
+  auto issue = std::make_shared<std::function<void(size_t)>>();
+  *issue = [&, issue](size_t client_idx) {
+    Client& cl = (*clients)[client_idx];
+    if (cl.issued >= cl.quota) {
+      return;
+    }
+    const size_t request_index = cl.issued++;
+    ShardCtx& ctx = shard_ctx[static_cast<size_t>(cl.shard)];
+    sim::Simulator* sim = engine.shard(cl.shard);
+    const TimeNs start = sim->Now();
+    const bool measured = request_index >= cl.warmup;
+    auto remaining = std::make_shared<int>(options_.scale_factor);
+    for (int s = 0; s < options_.scale_factor; ++s) {
+      const uint64_t key = next_key(cl);
+      const TimeNs get_start = sim->Now();
+      ctx.strategy->Get(key, [&, issue, client_idx, start, get_start, measured, remaining](
+                                 const client::GetResult& get_result) {
+        ShardCtx& cb_ctx = shard_ctx[static_cast<size_t>((*clients)[client_idx].shard)];
+        sim::Simulator* cb_sim = engine.shard((*clients)[client_idx].shard);
+        if (measured) {
+          cb_ctx.get_latencies.Record(cb_sim->Now() - get_start);
+        }
+        if (!get_result.status.ok() && !get_result.status.busy()) {
+          ++cb_ctx.user_errors;
+        }
+        if (--*remaining > 0) {
+          return;
+        }
+        if (measured) {
+          cb_ctx.user_latencies.Record(cb_sim->Now() - start);
+        }
+        ++cb_ctx.completed;
+        (*issue)(client_idx);
+      });
+    }
+  };
+  for (size_t c = 0; c < num_clients; ++c) {
+    (*issue)(c);
+  }
+
+  // Quotas drain the driver naturally; the predicate ends the run at the
+  // first quiesced barrier where every quota has completed (so daemons —
+  // noise streams, breaker probes — cannot keep the engine alive).
+  engine.RunUntilPredicate([&] {
+    size_t completed = 0;
+    for (const ShardCtx& ctx : shard_ctx) {
+      completed += ctx.completed;
+    }
+    return completed >= target;
+  });
+
+  *issue = nullptr;  // Break the driver lambda's self-reference cycle.
+
+  for (const ShardCtx& ctx : shard_ctx) {
+    result.requests += ctx.completed;
+    result.user_errors += ctx.user_errors;
+  }
+  for (ShardCtx& ctx : shard_ctx) {
+    result.get_latencies.MergeFrom(ctx.get_latencies);
+    result.user_latencies.MergeFrom(ctx.user_latencies);
+    CollectCounters(kind, *ctx.strategy, &result);
+  }
+  for (const auto& injector : io_noise) {
+    result.noise_ios += injector->ios_issued();
+  }
+  result.sim_duration = engine.Now();
+  result.sim_events = engine.executed_events();
+  result.num_shards = num_shards;
+  result.engine_windows = engine.windows_run();
+  result.cross_shard_messages = engine.cross_shard_messages();
+  for (const int w : {1, 2, 4, 8, 16, 32}) {
+    if (const uint64_t cp = engine.critical_path_events(w); cp != 0) {
+      result.critical_path.emplace_back(w, cp);
+    }
+  }
+  if (faults != nullptr) {
+    result.fault_log = faults->applied();
+    result.fault_episodes = faults->episodes_begun();
+    result.fault_skipped = faults->episodes_skipped();
+  }
+  if (options_.trace) {
+    std::vector<const obs::Tracer*> shard_tracers;
+    shard_tracers.reserve(tracers.size());
+    for (const auto& tracer : tracers) {
+      shard_tracers.push_back(tracer.get());
+      result.trace_dropped += tracer->dropped();
+    }
+    result.trace_spans = obs::MergeShardSpans(shard_tracers);
+  }
+  for (obs::MetricsRegistry& shard_metrics : metrics) {
+    result.metrics.MergeFrom(shard_metrics);
+  }
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/client/resilient.h"
@@ -31,6 +32,14 @@
 #include "src/obs/trace.h"
 #include "src/os/os.h"
 #include "src/workload/ycsb.h"
+
+namespace mitt::noise {
+class IoNoiseInjector;
+class CacheNoiseInjector;
+}  // namespace mitt::noise
+namespace mitt::workload {
+class MacroWorkload;
+}  // namespace mitt::workload
 
 namespace mitt::harness {
 
@@ -124,8 +133,24 @@ struct ExperimentOptions {
   // `deadline` above; the name/deadline fields here are overridden).
   client::ResilientOptions resilience;
 
+  // --- Intra-trial sharding (src/sim/sharded_engine.h) ---
+  // Shard count for the conservative-PDES engine. 0 = auto: 1 below 64
+  // nodes (the legacy single-threaded engine, zero overhead), otherwise
+  // ~num_nodes/32 capped at 32. Must stay a pure function of the scenario —
+  // NEVER derive it from worker count or hardware, or bit-identity across
+  // MITT_INTRA_WORKERS dies. Forced to 1 when shared_cpu_cores > 0 (a
+  // shared CPU pool is cross-shard state).
+  int num_shards = 0;
+  // Threads driving shard windows inside ONE trial. 0 = $MITT_INTRA_WORKERS
+  // (default 1). Any value produces bit-identical results; it composes with
+  // MITT_TRIAL_WORKERS (total threads ~= product, so split the budget).
+  int intra_workers = 0;
+
   uint64_t seed = 42;
 };
+
+// The shard count Run() will actually use (auto resolution above).
+int ResolveShards(const ExperimentOptions& options);
 
 struct RunResult {
   std::string name;
@@ -138,6 +163,18 @@ struct RunResult {
   uint64_t user_errors = 0;  // Timeout surfaced to the user (no failover).
   uint64_t noise_ios = 0;    // IOs the noise injectors issued during the run.
   TimeNs sim_duration = 0;
+
+  // Engine harvest: total simulator events executed (summed over shards),
+  // plus — for sharded runs — conservative-window and mailbox counters.
+  // events/s on sim_events is what bench_scalecore reports.
+  uint64_t sim_events = 0;
+  int num_shards = 1;
+  uint64_t engine_windows = 0;
+  uint64_t cross_shard_messages = 0;
+  // (workers, critical-path events) pairs from the engine's static shard
+  // map: sim_events / cp is the ideal w-core speedup, deterministic and
+  // host-independent (see ShardedEngine::critical_path_events()).
+  std::vector<std::pair<int, uint64_t>> critical_path;
 
   // Resilience harvest (src/resilience/). For naive strategies,
   // unbounded_deadline_tries counts deadline-disabled last-try sends; the
@@ -188,8 +225,22 @@ class Experiment {
  private:
   struct World;
 
+  // Sharded driver: same world recipe, but nodes/clients spread over the
+  // engine's shards; used by Run() when ResolveShards() > 1.
+  RunResult RunSharded(StrategyKind kind, int num_shards);
+  cluster::Cluster::Options BuildClusterOptions(StrategyKind kind) const;
+  // Builds the noise regime against each node's own simulator (its shard's,
+  // or the single legacy simulator — identical pointer when unsharded).
+  void BuildNoise(cluster::Cluster& cluster,
+                  std::vector<std::unique_ptr<noise::IoNoiseInjector>>& io_noise,
+                  std::vector<std::unique_ptr<noise::CacheNoiseInjector>>& cache_noise,
+                  std::vector<std::unique_ptr<workload::MacroWorkload>>& macro_noise);
+  // `seed_salt` decorrelates per-shard strategy instances; 0 = the legacy
+  // stream.
   std::unique_ptr<client::GetStrategy> MakeStrategy(StrategyKind kind, sim::Simulator* sim,
-                                                    cluster::Cluster* cluster);
+                                                    cluster::Cluster* cluster,
+                                                    uint64_t seed_salt = 0);
+  // Accumulates (+=) so per-shard strategy instances sum into one result.
   void CollectCounters(StrategyKind kind, const client::GetStrategy& strategy, RunResult* out);
 
   ExperimentOptions options_;

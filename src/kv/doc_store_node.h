@@ -107,6 +107,7 @@ class DocStoreNode {
   uint64_t crashes() const { return crashes_; }
 
   int node_id() const { return node_id_; }
+  sim::Simulator* sim() const { return sim_; }  // The owning shard's clock.
   os::Os& os() { return *os_; }
   cluster::CpuPool& cpu() { return *cpu_; }
   bool owns_cpu() const { return owned_cpu_ != nullptr; }

@@ -6,7 +6,11 @@ namespace mitt::kv {
 
 RingCoordinator::RingCoordinator(sim::Simulator* sim, std::vector<lsm::LsmNode*> nodes,
                                  cluster::Network* network, const Options& options)
-    : sim_(sim), nodes_(std::move(nodes)), network_(network), options_(options) {
+    : sim_(sim),
+      nodes_(std::move(nodes)),
+      network_(network),
+      options_(options),
+      home_shard_(sim->shard_id()) {
   if (options_.resilience_enabled) {
     health_ = std::make_unique<resilience::ReplicaHealthTracker>(
         sim_, static_cast<int>(nodes_.size()), options_.health, options_.seed ^ 0x51A6'B07DULL);
@@ -63,9 +67,13 @@ void RingCoordinator::Attempt(uint64_t key, int try_index,
     ++unbounded_tries_;
   }
   lsm::LsmNode* node = nodes_[static_cast<size_t>(replicas[static_cast<size_t>(try_index)])];
-  network_->Deliver([this, node, key, deadline, try_index, done] {
+  // Request hop onto the replica's shard, reply hop back to the
+  // coordinator's home shard (where `done` and the failover walk live).
+  network_->Deliver(cluster::Network::kNoPeer, NodeShard(node),
+                    [this, node, key, deadline, try_index, done] {
     node->HandleGet(key, deadline, [this, key, try_index, done](Status status) {
-      network_->Deliver([this, key, try_index, done, status] {
+      network_->Deliver(cluster::Network::kNoPeer, home_shard_,
+                        [this, key, try_index, done, status] {
         if (status.busy()) {
           ++failovers_;
           Attempt(key, try_index + 1, done);
@@ -93,9 +101,11 @@ void RingCoordinator::ResilientAttempt(std::shared_ptr<GetState> g) {
     max_sent_deadline_ = std::max(max_sent_deadline_, remaining);
   }
   const TimeNs sent_at = sim_->Now();
-  network_->Deliver([this, node, g, remaining, replica, sent_at] {
+  network_->Deliver(cluster::Network::kNoPeer, NodeShard(node),
+                    [this, node, g, remaining, replica, sent_at] {
     node->HandleGet(g->key, remaining, [this, g, replica, sent_at](Status status) {
-      network_->Deliver([this, g, replica, sent_at, status] {
+      network_->Deliver(cluster::Network::kNoPeer, home_shard_,
+                        [this, g, replica, sent_at, status] {
         health_->OnReply(replica, sim_->Now() - sent_at, status.busy());
         if (status.busy()) {
           ++failovers_;
@@ -132,9 +142,11 @@ void RingCoordinator::DegradedAttempt(std::shared_ptr<GetState> g, int round) {
     const DurationNs deadline =
         std::max(resilience::ClampDeadline(g->budget.Remaining(sim_->Now())), options_.deadline);
     max_sent_deadline_ = std::max(max_sent_deadline_, deadline);
-    network_->Deliver([this, node, g, deadline, step] {
+    network_->Deliver(cluster::Network::kNoPeer, NodeShard(node),
+                      [this, node, g, deadline, step] {
       node->HandleDegradedGet(g->key, deadline, [this, g, step](Status status) {
-        network_->Deliver([this, g, step, status] {
+        network_->Deliver(cluster::Network::kNoPeer, home_shard_,
+                          [this, g, step, status] {
           g->last_status = status;
           if (status.code() == StatusCode::kUnavailable) {
             ++degraded_sheds_seen_;
@@ -156,9 +168,11 @@ void RingCoordinator::Put(uint64_t key, std::function<void(Status)> done) {
   auto shared_done = std::make_shared<std::function<void(Status)>>(std::move(done));
   for (const int r : replicas) {
     lsm::LsmNode* node = nodes_[static_cast<size_t>(r)];
-    network_->Deliver([this, node, key, first, shared_done] {
+    network_->Deliver(cluster::Network::kNoPeer, NodeShard(node),
+                      [this, node, key, first, shared_done] {
       node->HandlePut(key, [this, first, shared_done](Status s) {
-        network_->Deliver([first, shared_done, s] {
+        network_->Deliver(cluster::Network::kNoPeer, home_shard_,
+                          [first, shared_done, s] {
           if (*first) {
             *first = false;
             (*shared_done)(s);

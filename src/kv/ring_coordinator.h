@@ -65,10 +65,17 @@ class RingCoordinator {
   void ResilientAttempt(std::shared_ptr<GetState> g);
   void DegradedAttempt(std::shared_ptr<GetState> g, int round);
 
+  // Shard owning a replica (0 unsharded). Coordinator state — budgets,
+  // health, counters, the degraded walk — only mutates on home_shard_.
+  int NodeShard(const lsm::LsmNode* node) const {
+    return network_->ShardOfNode(node->node_id());
+  }
+
   sim::Simulator* sim_;
   std::vector<lsm::LsmNode*> nodes_;
   cluster::Network* network_;
   Options options_;
+  int home_shard_ = 0;
   std::unique_ptr<resilience::ReplicaHealthTracker> health_;
   std::unique_ptr<resilience::DecorrelatedJitterBackoff> backoff_;
   uint64_t failovers_ = 0;

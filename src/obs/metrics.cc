@@ -36,6 +36,18 @@ double MetricsRegistry::GaugeValue(std::string_view name, int node) const {
   return it == gauges_.end() ? 0.0 : it->second.value();
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [key, src] : other.counters_) {
+    counters_[key].Add(src.value());
+  }
+  for (const auto& [key, src] : other.gauges_) {
+    gauges_[key].Add(src.value());
+  }
+  for (const auto& [key, src] : other.histograms_) {
+    histograms_[key].MergeFrom(src);
+  }
+}
+
 void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();

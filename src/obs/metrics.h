@@ -77,6 +77,11 @@ class MetricsRegistry {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
 
+  // Folds `other` into this registry: counters and gauges add, histograms
+  // append samples. Sharded harvests merge per-shard registries in shard
+  // order; map keying keeps the result independent of merge interleaving.
+  void MergeFrom(const MetricsRegistry& other);
+
   void Clear();
 
  private:

@@ -1,5 +1,7 @@
 #include "src/obs/trace.h"
 
+#include <algorithm>
+
 namespace mitt::obs {
 
 std::string_view SpanKindName(SpanKind kind) {
@@ -70,6 +72,26 @@ void Tracer::Clear() {
   head_ = 0;
   size_ = 0;
   recorded_ = 0;
+}
+
+std::vector<SpanRecord> MergeShardSpans(const std::vector<const Tracer*>& shard_tracers) {
+  std::vector<SpanRecord> merged;
+  size_t total = 0;
+  for (const Tracer* tracer : shard_tracers) {
+    total += tracer->size();
+  }
+  merged.reserve(total);
+  for (const Tracer* tracer : shard_tracers) {
+    const std::vector<SpanRecord> spans = tracer->OrderedSpans();
+    merged.insert(merged.end(), spans.begin(), spans.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.begin != b.begin) {
+      return a.begin < b.begin;
+    }
+    return a.end < b.end;
+  });
+  return merged;
 }
 
 }  // namespace mitt::obs

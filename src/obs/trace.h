@@ -91,6 +91,12 @@ class Tracer {
   // Deterministic per-simulator request ids, starting at 1.
   uint64_t NewRequestId() { return next_request_id_++; }
 
+  // Namespaces this tracer's request ids: subsequent ids are base+1,
+  // base+2, ... Sharded runs give shard s the base s<<40 so ids from
+  // different shards never collide and a request's home shard is readable
+  // from its id. Base 0 (the default) is the legacy single-shard stream.
+  void SetRequestIdBase(uint64_t base) { next_request_id_ = base + 1; }
+
   void RecordSpan(SpanKind kind, const TraceContext& ctx, TimeNs begin, TimeNs end);
   void RecordInstant(SpanKind kind, const TraceContext& ctx, TimeNs at) {
     RecordSpan(kind, ctx, at, at);
@@ -114,6 +120,14 @@ class Tracer {
   uint64_t next_request_id_ = 1;
   bool enabled_ = true;
 };
+
+// Deterministic merge of per-shard trace rings at harvest time: shard rings
+// are concatenated in shard order, then stable-sorted by (begin, end) — so
+// the result is chronological, ties resolve by shard index, and the output
+// is byte-identical for any MITT_INTRA_WORKERS / MITT_TRIAL_WORKERS setting
+// (each ring's content is itself deterministic; only which *thread* filled
+// it varies). Drop-oldest truncation is per-shard and equally deterministic.
+std::vector<SpanRecord> MergeShardSpans(const std::vector<const Tracer*>& shard_tracers);
 
 }  // namespace mitt::obs
 

@@ -1,0 +1,354 @@
+#include "src/sim/sharded_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mitt::sim {
+
+namespace {
+
+// Which (engine, shard) the calling thread is executing for. Each trial owns
+// its own engine, so a thread pool from harness::RunTrialsParallel keeps the
+// engines fully independent: the pointer match below makes CurrentShardId()
+// correct even when several engines are alive at once.
+struct ShardContext {
+  const ShardedEngine* engine = nullptr;
+  int shard = 0;
+};
+thread_local ShardContext tls_shard_context;
+
+}  // namespace
+
+int DefaultIntraWorkers() {
+  if (const char* env = std::getenv("MITT_INTRA_WORKERS")) {
+    const int v = std::atoi(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return 1;
+}
+
+ShardedEngine::ShardedEngine(const Options& options) : options_(options) {
+  const int num_shards = options_.num_shards < 1 ? 1 : options_.num_shards;
+  assert(num_shards == 1 || options_.lookahead > 0);
+  workers_ = options_.workers > 0 ? options_.workers : DefaultIntraWorkers();
+  if (workers_ > num_shards) {
+    workers_ = num_shards;
+  }
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    auto sim = std::make_unique<Simulator>();
+    sim->SetShardContext(this, s);
+    shards_.push_back(std::move(sim));
+  }
+  mail_.resize(static_cast<size_t>(num_shards) * static_cast<size_t>(num_shards));
+  cp_prev_executed_.resize(static_cast<size_t>(num_shards), 0);
+  cp_worker_load_.resize(static_cast<size_t>(num_shards), 0);
+}
+
+ShardedEngine::~ShardedEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : pool_) {
+    t.join();
+  }
+}
+
+int ShardedEngine::CurrentShardId() const {
+  const ShardContext& ctx = tls_shard_context;
+  return ctx.engine == this ? ctx.shard : 0;
+}
+
+void ShardedEngine::Post(int dst_shard, TimeNs when, Callback fn) {
+  const int src = CurrentShardId();
+  // Conservative bound: a correctly derived lookahead makes this clamp a
+  // no-op; it exists so an under-estimated hop (e.g. a fault multiplier
+  // below 1.0) degrades to a deterministic delay instead of a causality
+  // violation.
+  if (when < window_end_) {
+    when = window_end_;
+  }
+  mailbox(src, dst_shard).msgs.push_back({when, std::move(fn)});
+}
+
+void ShardedEngine::ScheduleGlobal(TimeNs when, Callback fn) {
+  const TimeNs now = Now();
+  if (when < now) {
+    when = now;
+  }
+  globals_.push_back({when, next_global_seq_++, std::move(fn)});
+  std::push_heap(globals_.begin(), globals_.end(), [](const GlobalEvent& a, const GlobalEvent& b) {
+    return a.when != b.when ? a.when > b.when : a.seq > b.seq;  // Min-heap.
+  });
+}
+
+TimeNs ShardedEngine::Now() const {
+  TimeNs now = 0;
+  for (const auto& shard : shards_) {
+    now = std::max(now, shard->Now());
+  }
+  return now;
+}
+
+uint64_t ShardedEngine::executed_events() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->executed_events();
+  }
+  return total;
+}
+
+uint64_t ShardedEngine::critical_path_events(int workers) const {
+  for (size_t k = 0; k < kNumCpWorkerCounts; ++k) {
+    if (kCpWorkerCounts[k] == workers) {
+      return critical_path_[k];
+    }
+  }
+  return 0;
+}
+
+void ShardedEngine::AccumulateCriticalPath() {
+  const size_t num_shards = shards_.size();
+  for (size_t s = 0; s < num_shards; ++s) {
+    const uint64_t executed = shards_[s]->executed_events();
+    cp_worker_load_[s] = executed - cp_prev_executed_[s];  // Reused as delta.
+    cp_prev_executed_[s] = executed;
+  }
+  for (size_t k = 0; k < kNumCpWorkerCounts; ++k) {
+    const size_t w = static_cast<size_t>(kCpWorkerCounts[k]);
+    uint64_t max_load = 0;
+    for (size_t worker = 0; worker < w && worker < num_shards; ++worker) {
+      uint64_t load = 0;
+      for (size_t s = worker; s < num_shards; s += w) {
+        load += cp_worker_load_[s];
+      }
+      max_load = std::max(max_load, load);
+    }
+    critical_path_[k] += max_load;
+  }
+}
+
+size_t ShardedEngine::TotalNonDaemonPending() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->non_daemon_pending();
+  }
+  return total;
+}
+
+void ShardedEngine::Run() { RunLoop(nullptr); }
+
+bool ShardedEngine::RunUntilPredicate(const std::function<bool()>& pred) {
+  assert(pred != nullptr);
+  return RunLoop(pred);
+}
+
+TimeNs ShardedEngine::RunGlobalsUpTo(TimeNs t) {
+  const auto later = [](const GlobalEvent& a, const GlobalEvent& b) {
+    return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+  };
+  while (!globals_.empty() && globals_.front().when <= t) {
+    std::pop_heap(globals_.begin(), globals_.end(), later);
+    GlobalEvent g = std::move(globals_.back());
+    globals_.pop_back();
+    // Quiesced execution at exactly g.when: every shard clock reads g.when,
+    // so a global mutation (fault apply, pause, crash) timestamps its spans
+    // and its scheduled follow-ups consistently on every shard it touches.
+    for (auto& shard : shards_) {
+      shard->AdvanceTo(g.when);
+    }
+    g.fn();
+  }
+  return globals_.empty() ? kNoPendingEvent : globals_.front().when;
+}
+
+void ShardedEngine::DrainMailboxes() {
+  const int num_shards = static_cast<int>(shards_.size());
+  for (int dst = 0; dst < num_shards; ++dst) {
+    drain_scratch_.clear();
+    for (int src = 0; src < num_shards; ++src) {
+      const auto& row = mailbox(src, dst).msgs;
+      for (uint32_t i = 0; i < row.size(); ++i) {
+        drain_scratch_.push_back({row[i].when, src, i});
+      }
+    }
+    if (drain_scratch_.empty()) {
+      continue;
+    }
+    // The deterministic tie-break: (time, source shard, send sequence).
+    // Insertion order assigns destination-side seq numbers, so two messages
+    // tied with a destination-local event fire after it (they were scheduled
+    // later) and against each other in this sorted order — independent of
+    // which worker ran which shard.
+    std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+              [](const MsgRef& a, const MsgRef& b) {
+                if (a.when != b.when) {
+                  return a.when < b.when;
+                }
+                if (a.src != b.src) {
+                  return a.src < b.src;
+                }
+                return a.index < b.index;
+              });
+    Simulator* dst_sim = shards_[static_cast<size_t>(dst)].get();
+    for (const MsgRef& ref : drain_scratch_) {
+      auto& row = mailbox(ref.src, dst).msgs;
+      dst_sim->ScheduleAt(ref.when, std::move(row[ref.index].fn));
+    }
+    cross_messages_ += drain_scratch_.size();
+    for (int src = 0; src < num_shards; ++src) {
+      mailbox(src, dst).msgs.clear();  // Capacity retained (zero-alloc path).
+    }
+  }
+}
+
+void ShardedEngine::RunShardSubset(TimeNs window_end, int worker) {
+  // Static assignment: shard s always runs on worker s % workers_. Shards
+  // never migrate between threads, so per-shard heap blocks are allocated
+  // and freed by the same thread (no cross-arena malloc traffic) and a
+  // shard's working set stays warm in one core's cache across windows.
+  for (const int s : ready_shards_) {
+    if (s % workers_ != worker) {
+      continue;
+    }
+    tls_shard_context = {this, s};
+    shards_[static_cast<size_t>(s)]->RunWindow(window_end);
+  }
+  tls_shard_context = {this, 0};
+  // Every worker checks in, including ones whose subset was empty this
+  // window — the barrier must know no thread is still *reading*
+  // ready_shards_ before the coordinator refills it for the next epoch.
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++workers_done_;
+  if (workers_done_ == static_cast<size_t>(workers_)) {
+    done_cv_.notify_all();
+  }
+}
+
+void ShardedEngine::WorkerLoop(int worker_index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    TimeNs window_end;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      window_end = pool_window_end_;
+    }
+    RunShardSubset(window_end, worker_index);
+  }
+}
+
+void ShardedEngine::ExecuteWindow(TimeNs window_end) {
+  window_end_ = window_end;
+  if (workers_ <= 1 || ready_shards_.size() <= 1) {
+    // Single-worker (or single-ready-shard) windows run inline in shard
+    // order — the exact schedule a multi-worker run is measured against.
+    for (const int s : ready_shards_) {
+      tls_shard_context = {this, s};
+      shards_[static_cast<size_t>(s)]->RunWindow(window_end);
+    }
+    tls_shard_context = {this, 0};
+    return;
+  }
+  if (pool_.empty()) {
+    pool_.reserve(static_cast<size_t>(workers_ - 1));
+    for (int w = 1; w < workers_; ++w) {
+      pool_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    pool_window_end_ = window_end;
+    workers_done_ = 0;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunShardSubset(window_end, /*worker=*/0);  // The coordinator is worker 0.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_done_ == static_cast<size_t>(workers_); });
+}
+
+bool ShardedEngine::RunLoop(const std::function<bool()>& pred) {
+  next_times_.resize(shards_.size(), kNoPendingEvent);
+  std::vector<TimeNs>& next_times = next_times_;
+  const bool debug_timing = std::getenv("MITT_ENGINE_TIMING") != nullptr;
+  double drain_sec = 0, exec_sec = 0;
+  const auto loop_t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    DrainMailboxes();
+    if (debug_timing) {
+      drain_sec += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    }
+    if (pred != nullptr && pred()) {
+      if (debug_timing) {
+        const double total =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - loop_t0).count();
+        std::fprintf(stderr, "[engine] total=%.2fs drain=%.2fs exec=%.2fs other=%.2fs\n",
+                     total, drain_sec, exec_sec, total - drain_sec - exec_sec);
+      }
+      return true;
+    }
+    if (TotalNonDaemonPending() == 0) {
+      return false;  // Drained (pending global events are daemon-like).
+    }
+    TimeNs global_min = kNoPendingEvent;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      next_times[s] = shards_[s]->NextEventTime();
+      if (next_times[s] >= 0 && (global_min < 0 || next_times[s] < global_min)) {
+        global_min = next_times[s];
+      }
+    }
+    if (global_min < 0) {
+      return false;
+    }
+    if (!globals_.empty() && globals_.front().when <= global_min) {
+      // Globals due at the frontier run first, quiesced; they may schedule
+      // shard events or further globals, so recompute from scratch.
+      RunGlobalsUpTo(global_min);
+      continue;
+    }
+    TimeNs window_end = global_min + options_.lookahead;
+    if (window_end == global_min) {
+      // Zero lookahead is only legal single-shard (see the ctor assert);
+      // RunWindow's end is exclusive, so open the window one tick past the
+      // frontier or no event would ever be admitted.
+      ++window_end;
+    }
+    if (!globals_.empty() && globals_.front().when < window_end) {
+      window_end = globals_.front().when;  // > global_min, checked above.
+    }
+    {
+      // Refill under mu_: a pool worker draining the tail of the previous
+      // epoch may still be reading ready_shards_ in its claim check.
+      const std::lock_guard<std::mutex> lock(mu_);
+      ready_shards_.clear();
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        if (next_times[s] >= 0 && next_times[s] < window_end) {
+          ready_shards_.push_back(static_cast<int>(s));
+        }
+      }
+    }
+    const auto e0 = std::chrono::steady_clock::now();
+    ExecuteWindow(window_end);
+    if (debug_timing) {
+      exec_sec += std::chrono::duration<double>(std::chrono::steady_clock::now() - e0).count();
+    }
+    window_end_ = 0;  // Quiesced: no clamp floor between windows.
+    AccumulateCriticalPath();
+    ++windows_;
+  }
+}
+
+}  // namespace mitt::sim

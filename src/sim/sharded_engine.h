@@ -1,0 +1,222 @@
+// Intra-trial parallel discrete-event engine: conservative PDES over shards.
+//
+// One trial used to be one single-threaded Simulator, so a scenario was
+// capped near the paper's ~20-node scale no matter how many cores the host
+// has (`harness::RunTrialsParallel` only parallelizes *across* trials). The
+// ShardedEngine splits one simulated world into S shards — each shard is a
+// full Simulator (same slot-arena event pool, same 4-ary handle heap) owning
+// a disjoint set of actors (nodes, their OS/device/scheduler stacks, the
+// clients homed on it) — and drives them with conservative time windows:
+//
+//   lookahead L  = the minimum one-way network hop (cluster::Network's
+//                  one_way - jitter): any cross-shard interaction is a
+//                  network message, so an event executing at time t cannot
+//                  affect another shard before t + L.
+//   window       = [*, global_min + L) where global_min is the earliest
+//                  pending event across all shards. Every shard may execute
+//                  its events strictly below the window end with no
+//                  communication, in parallel.
+//   barrier      = cross-shard messages buffered during the window are
+//                  drained into their destination shards in deterministic
+//                  (time, source shard, send sequence) order, global_min is
+//                  recomputed, and the next window opens.
+//
+// Determinism contract (the invariant every subsystem relies on): results
+// are bit-identical at any MITT_INTRA_WORKERS value, including 1, and
+// composable with MITT_TRIAL_WORKERS. Worker count only decides which thread
+// executes a shard's window — never the order of events. The pieces:
+//   * within a shard, events fire in (time, per-shard seq) order exactly as
+//     in a plain Simulator;
+//   * mailbox drains are sorted by (time, src shard, per-pair seq) and
+//     inserted at the barrier, so destination-side tie-breaking is a pure
+//     function of the simulation, not of thread scheduling;
+//   * shard-crossing layers (cluster::Network) keep one RNG stream per
+//     source shard, consumed only by that shard's thread;
+//   * fault/world mutations that touch cross-shard state run as *global
+//     events*: timestamped closures executed while every shard is quiesced
+//     at a barrier, before any shard event at an equal-or-later time.
+//
+// Hot-path budget: mailbox slots hold InlineFunction closures (48-byte SBO)
+// in vectors that retain capacity across windows, so the steady-state
+// cross-shard send->drain->fire path performs zero heap allocations (gated
+// by tests/alloc_test.cc). The shard count is a pure function of the
+// scenario (never of worker count or hardware), which is what makes the
+// worker-count invariance total.
+
+#ifndef MITTOS_SIM_SHARDED_ENGINE_H_
+#define MITTOS_SIM_SHARDED_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sim/simulator.h"
+
+namespace mitt::sim {
+
+// Worker count used when ShardedEngine::Options.workers <= 0:
+// $MITT_INTRA_WORKERS if set, otherwise 1 (conservative default so
+// trial-level parallelism is never oversubscribed implicitly).
+int DefaultIntraWorkers();
+
+class ShardedEngine {
+ public:
+  struct Options {
+    int num_shards = 1;
+    // Conservative lookahead; must be > 0 when num_shards > 1. Derive it
+    // from the minimum cross-shard interaction latency (for cluster worlds:
+    // NetworkParams.one_way - NetworkParams.jitter).
+    DurationNs lookahead = 0;
+    // Threads executing shard windows. <= 0 resolves via
+    // DefaultIntraWorkers(). Results are bit-identical at any value.
+    int workers = 0;
+  };
+
+  explicit ShardedEngine(const Options& options);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  ~ShardedEngine();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  Simulator* shard(int s) { return shards_[static_cast<size_t>(s)].get(); }
+  DurationNs lookahead() const { return options_.lookahead; }
+  int workers() const { return workers_; }
+
+  // The shard executing on the calling thread during a window; outside any
+  // window (setup, barriers, global events) this is shard 0. Used by
+  // cluster::Network to pick the caller's RNG lane / mailbox row without
+  // threading a shard id through every layer.
+  int CurrentShardId() const;
+
+  // Cross-shard message: run `fn` on `dst_shard` at absolute time `when`.
+  // Must be called from the engine's own execution contexts (a shard window
+  // on a worker thread, a global event, or setup before Run). `when` is
+  // clamped to the open window's end — the conservative bound messages are
+  // guaranteed to respect when the lookahead is derived correctly.
+  void Post(int dst_shard, TimeNs when, Callback fn);
+
+  // Global event: `fn` runs at absolute time `when` while every shard is
+  // quiesced (all shard clocks advanced to `when`, no window executing), and
+  // before any shard event with an equal or later timestamp. Daemon-like:
+  // pending global events never keep Run() alive. Use for mutations of
+  // cross-shard state (network link faults, node pause/crash injection).
+  void ScheduleGlobal(TimeNs when, Callback fn);
+
+  // Runs windows until no shard holds a non-daemon event and no message is
+  // in flight (the multi-shard analogue of Simulator::Run()).
+  void Run();
+
+  // Runs windows until `pred()` returns true — checked at every barrier,
+  // while quiesced — or the engine drains. Returns true if the predicate was
+  // satisfied. Predicate evaluation is deterministic: barriers fall at the
+  // same simulated times for any worker count.
+  bool RunUntilPredicate(const std::function<bool()>& pred);
+
+  // Largest shard clock (the simulated time the world has reached).
+  TimeNs Now() const;
+
+  uint64_t executed_events() const;       // Summed over shards.
+  uint64_t cross_shard_messages() const { return cross_messages_; }
+  uint64_t windows_run() const { return windows_; }
+
+  // Critical-path event count for a hypothetical `workers`-thread run under
+  // the engine's static shard map (shard s -> worker s % workers): the sum
+  // over windows of the busiest worker's event count. executed_events() /
+  // critical_path_events(w) is the wall-clock speedup an w-core host could
+  // reach, computed deterministically from event counts — it is how the
+  // scaling bench reports parallelism on hosts with fewer cores than
+  // workers. Tracked for workers in {1, 2, 4, 8, 16, 32}; returns 0 for
+  // other values.
+  uint64_t critical_path_events(int workers) const;
+
+ private:
+  struct Mailbox {
+    // One row per (src, dst) pair; written only by src's thread during a
+    // window, drained only at barriers. Capacity is retained across windows.
+    struct Msg {
+      TimeNs when;
+      Callback fn;
+    };
+    std::vector<Msg> msgs;
+  };
+
+  struct GlobalEvent {
+    TimeNs when;
+    uint64_t seq;
+    Callback fn;
+  };
+
+  // Sort key for deterministic mailbox drains.
+  struct MsgRef {
+    TimeNs when;
+    int src;
+    uint32_t index;
+  };
+
+  Mailbox& mailbox(int src, int dst) {
+    return mail_[static_cast<size_t>(src) * shards_.size() + static_cast<size_t>(dst)];
+  }
+
+  bool RunLoop(const std::function<bool()>& pred);
+  // Advances every shard clock to `t` and fires due global events. Returns
+  // the time of the next pending global event (or kNoPendingEvent).
+  TimeNs RunGlobalsUpTo(TimeNs t);
+  void DrainMailboxes();
+  void ExecuteWindow(TimeNs window_end);  // Parallel phase + barrier.
+  void WorkerLoop(int worker_index);
+  void RunShardSubset(TimeNs window_end, int worker);
+  void AccumulateCriticalPath();  // Per-window load bookkeeping (quiesced).
+  size_t TotalNonDaemonPending() const;
+
+  static constexpr TimeNs kNoPendingEvent = -1;
+
+  Options options_;
+  int workers_ = 1;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<Mailbox> mail_;  // num_shards^2 rows, indexed [src * S + dst].
+  std::vector<MsgRef> drain_scratch_;
+  std::vector<TimeNs> next_times_;  // RunLoop scratch (alloc-free re-entry).
+  std::vector<GlobalEvent> globals_;  // Min-heap on (when, seq).
+  uint64_t next_global_seq_ = 1;
+  TimeNs window_end_ = 0;  // Conservative horizon while a window is open.
+  uint64_t cross_messages_ = 0;
+  uint64_t windows_ = 0;
+
+  // Critical-path accounting (see critical_path_events()). kCpWorkerCounts
+  // lists the hypothetical worker counts tracked; scratch vectors avoid
+  // per-window allocation.
+  static constexpr int kCpWorkerCounts[] = {1, 2, 4, 8, 16, 32};
+  static constexpr size_t kNumCpWorkerCounts = sizeof(kCpWorkerCounts) / sizeof(int);
+  uint64_t critical_path_[kNumCpWorkerCounts] = {};
+  std::vector<uint64_t> cp_prev_executed_;
+  std::vector<uint64_t> cp_worker_load_;
+
+  // Worker pool (created lazily on the first multi-worker Run). Coordination
+  // is a mutex + condvar epoch barrier: the coordinator refills ready_shards_
+  // and publishes a window (epoch bump), each worker runs its statically
+  // assigned subset (shard s belongs to worker s % workers_ — a fixed map, so
+  // a shard's allocations and cache-warm state stay on one thread across
+  // windows), and the coordinator waits until every ready shard is done. The
+  // mutex handoffs establish the happens-before edges that make mailbox rows
+  // and shard heaps safely visible across threads (TSan-verified in CI).
+  std::vector<std::thread> pool_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+  TimeNs pool_window_end_ = 0;
+  std::vector<int> ready_shards_;  // Refilled under mu_ between epochs.
+  size_t workers_done_ = 0;        // Guarded by mu_. Check-ins this epoch.
+};
+
+}  // namespace mitt::sim
+
+#endif  // MITTOS_SIM_SHARDED_ENGINE_H_

@@ -114,6 +114,41 @@ void Simulator::RunUntil(TimeNs deadline) {
   }
 }
 
+TimeNs Simulator::NextEventTime() {
+  while (!HeapEmpty()) {
+    const Handle top = HeapTop();
+    const Slot& slot = SlotAt(top.slot);
+    if (!slot.cancelled) {
+      return top.when;
+    }
+    if (!slot.daemon) {
+      --non_daemon_pending_;
+    }
+    ReleaseSlot(top.slot);
+    HeapPopTop();
+  }
+  return -1;
+}
+
+void Simulator::RunWindow(TimeNs end) {
+  while (!HeapEmpty()) {
+    const Handle top = HeapTop();
+    const Slot& slot = SlotAt(top.slot);
+    if (slot.cancelled) {
+      if (!slot.daemon) {
+        --non_daemon_pending_;
+      }
+      ReleaseSlot(top.slot);
+      HeapPopTop();
+      continue;
+    }
+    if (top.when >= end) {
+      break;
+    }
+    Step();  // Top is live and inside the window: executes exactly it.
+  }
+}
+
 bool Simulator::RunUntilPredicate(const std::function<bool()>& pred) {
   if (pred()) {
     return true;

@@ -39,6 +39,8 @@ class Tracer;
 
 namespace mitt::sim {
 
+class ShardedEngine;
+
 // Handle for cancelling a scheduled event. Encodes (pool slot + 1) in the
 // high 32 bits and the slot's generation in the low 32 bits; 0 is never a
 // valid id. Ids are unique over any realistic run (a slot must be reused
@@ -103,6 +105,41 @@ class Simulator {
   // Live (scheduled, not cancelled, not yet fired) events.
   size_t pending_events() const { return live_events_; }
   uint64_t executed_events() const { return executed_; }
+  // Heap entries (including tombstones) that are non-daemon — the engine's
+  // termination count; matches what Run() uses internally.
+  size_t non_daemon_pending() const { return non_daemon_pending_; }
+
+  // --- Sharded-engine hooks (src/sim/sharded_engine.h) ---
+  //
+  // A Simulator either runs standalone (legacy single-threaded mode; every
+  // hook below is inert and engine() is nullptr) or as one shard of a
+  // ShardedEngine, which drives it through RunWindow/AdvanceTo/NextEventTime
+  // at conservative-window barriers. Components query shard_id()/engine() to
+  // route cross-shard interactions; none of this touches the Step() hot path.
+  void SetShardContext(ShardedEngine* engine, int shard_id) {
+    engine_ = engine;
+    shard_id_ = shard_id;
+  }
+  ShardedEngine* engine() const { return engine_; }
+  int shard_id() const { return shard_id_; }
+
+  // Time of the earliest live event, or -1 when the queue holds nothing
+  // runnable. Lazily pops tombstoned entries off the top.
+  TimeNs NextEventTime();
+
+  // Executes every event with timestamp strictly below `end`. Does NOT
+  // advance Now() to `end` afterwards — between windows the engine advances
+  // quiesced shard clocks explicitly (AdvanceTo) only when a global event
+  // needs a consistent timestamp.
+  void RunWindow(TimeNs end);
+
+  // Forward-only clock jump. Engine-internal: only valid while this shard is
+  // quiesced at a barrier (no event mid-flight).
+  void AdvanceTo(TimeNs t) {
+    if (now_ < t) {
+      now_ = t;
+    }
+  }
 
   // Pool introspection (perf monitoring; see bench_simcore).
   size_t pool_capacity() const { return num_slots_; }
@@ -239,6 +276,9 @@ class Simulator {
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+
+  ShardedEngine* engine_ = nullptr;
+  int shard_id_ = 0;
 
   TimeNs now_ = 0;
   uint64_t next_seq_ = 1;

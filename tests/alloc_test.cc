@@ -35,6 +35,7 @@
 #include "src/common/time.h"
 #include "src/os/os.h"
 #include "src/os/page_cache.h"
+#include "src/sim/sharded_engine.h"
 #include "src/sim/simulator.h"
 
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
@@ -178,6 +179,43 @@ TEST(SteadyStateAllocTest, DiskNoopPipelineIsAllocationFree) {
 TEST(SteadyStateAllocTest, SsdPipelineIsAllocationFree) {
   MITT_SKIP_UNDER_PREDICT_CHECK();
   EXPECT_EQ(SteadyAllocs(os::BackendKind::kSsd, 30'000, 30'000), 0u);
+}
+
+TEST(SteadyStateAllocTest, CrossShardMailboxIsAllocationFree) {
+  MITT_SKIP_UNDER_PREDICT_CHECK();
+  // Steady-state cross-shard traffic: Post -> mailbox row -> sorted drain ->
+  // ScheduleAt -> RunWindow -> Post again. After warmup grows every mailbox
+  // row, the drain scratch, the ready list, and the per-shard event arenas to
+  // their working size, each further bounce must allocate nothing. The
+  // closure captures two pointers, inside InlineFunction's SBO.
+  sim::ShardedEngine::Options eopt;
+  eopt.num_shards = 2;
+  eopt.lookahead = Micros(50);
+  eopt.workers = 2;  // Exercise the pool barrier, not just the inline path.
+  sim::ShardedEngine engine(eopt);
+
+  uint64_t bounces = 0;
+  // Self-scheduling ping-pong chains; `next` alternates 0 <-> 1, so every
+  // window moves messages across both mailbox rows.
+  std::function<void(int)> bounce = [&](int dst) {
+    ++bounces;
+    const int next = 1 - dst;
+    engine.Post(next, engine.shard(dst)->Now() + Micros(50), [&bounce, next] { bounce(next); });
+  };
+  for (int chain = 0; chain < 8; ++chain) {
+    const int start = chain & 1;
+    engine.shard(start)->ScheduleAt(Micros(10) * (chain + 1),
+                                    [&bounce, start] { bounce(start); });
+  }
+
+  const uint64_t kWarmup = 20'000;
+  engine.RunUntilPredicate([&bounces] { return bounces >= kWarmup; });
+
+  const uint64_t target = bounces + 20'000;
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  engine.RunUntilPredicate([&bounces, target] { return bounces >= target; });
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
+  EXPECT_GE(engine.cross_shard_messages(), kWarmup + 20'000);
 }
 
 TEST(SteadyStateAllocTest, PageCacheHotOpsAreAllocationFree) {

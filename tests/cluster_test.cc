@@ -7,6 +7,7 @@
 #include "src/cluster/cpu_pool.h"
 #include "src/cluster/network.h"
 #include "src/kv/doc_store_node.h"
+#include "src/sim/sharded_engine.h"
 #include "src/sim/simulator.h"
 
 namespace mitt::cluster {
@@ -210,6 +211,57 @@ TEST_F(DocStoreNodeTest, ExceptionPathCostsMore) {
   const TimeNs with_exceptions = run(true);
   EXPECT_NEAR(static_cast<double>(with_exceptions - exceptionless),
               static_cast<double>(Micros(200)), static_cast<double>(Micros(20)));
+}
+
+// ------------------------------------------------- sharded cluster worlds
+
+// A cluster built on the PDES engine: request and reply both cross shards
+// (shard 0 -> node's shard -> shard 0), so completion times exercise the
+// mailbox path end to end. The whole delivery log must be bit-identical at
+// any worker count, including the env-resolved default (workers=0).
+TEST(ShardedClusterTest, CrossShardGetsAreBitIdenticalAcrossWorkerCounts) {
+  constexpr int kNodes = 16;
+  auto run = [](int workers) {
+    sim::ShardedEngine::Options eopt;
+    eopt.num_shards = 4;
+    eopt.lookahead = MinOneWayHop(NetworkParams{});
+    eopt.workers = workers;
+    sim::ShardedEngine engine(eopt);
+    Cluster::Options copt;
+    copt.num_nodes = kNodes;
+    copt.node = SmallNodeOptions();
+    copt.node.num_keys = 1 << 10;
+    copt.seed = 7;
+    Cluster cluster(&engine, copt);
+    cluster.WarmAll(0.5);
+
+    size_t completed = 0;
+    std::vector<TimeNs> done(kNodes, -1);
+    for (int n = 0; n < kNodes; ++n) {
+      engine.shard(0)->ScheduleAt(Micros(10) * (n + 1), [&engine, &cluster, &done,
+                                                         &completed, n] {
+        cluster.network().DeliverToNode(n, [&engine, &cluster, &done, &completed, n] {
+          cluster.node(n).HandleGet(static_cast<uint64_t>(n) * 17, Millis(20),
+                                    [&engine, &cluster, &done, &completed, n](Status) {
+                                      cluster.network().Deliver(
+                                          n, /*dst_shard=*/0,
+                                          [&engine, &done, &completed, n] {
+                                            done[n] = engine.shard(0)->Now();
+                                            ++completed;
+                                          });
+                                    });
+        });
+      });
+    }
+    engine.RunUntilPredicate([&completed] { return completed == kNodes; });
+    done.push_back(static_cast<TimeNs>(engine.cross_shard_messages()));
+    return done;
+  };
+  const auto base = run(1);
+  EXPECT_GT(base.back(), 0) << "gets must actually cross shards";
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(4), base);
+  EXPECT_EQ(run(0), base);  // Env-resolved default (4 under the TSan CI job).
 }
 
 TEST_F(DocStoreNodeTest, PutIsBufferedAndFast) {

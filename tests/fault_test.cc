@@ -319,5 +319,45 @@ TEST(FaultDeterminismTest, ScenarioBitIdenticalAcrossWorkerCounts) {
   EXPECT_TRUE(saw_failslow);
 }
 
+// Sharded analogue: a 128-node world auto-shards onto the PDES engine, the
+// injector routes episodes through ScheduleGlobal (quiesced), and the fault
+// log plus every latency sample must be bit-identical at any intra-trial
+// worker count — including the env-resolved default (intra_workers=0).
+TEST(FaultDeterminismTest, ShardedScenarioBitIdenticalAcrossIntraWorkers) {
+  harness::ExperimentOptions opt;
+  opt.num_nodes = 128;
+  opt.num_clients = 32;
+  opt.num_keys_per_node = 256;
+  opt.cache_pages = 128;
+  opt.warm_fraction = 0.5;
+  opt.measure_requests = 600;
+  opt.warmup_requests = 50;
+  opt.noise = harness::NoiseKind::kNone;
+  opt.deadline = Millis(15);
+  opt.seed = 1234;
+  FaultPlanBuilder b;
+  b.FailSlowDisk(/*node=*/5, Millis(20), Millis(400), 6.0);
+  b.NodePause(/*node=*/70, Millis(50), Millis(30));
+  b.NetworkDegrade(/*node=*/100, Millis(10), Millis(200), 20.0);
+  opt.fault_plan = b.Build();
+
+  auto run = [&opt](int intra_workers) {
+    harness::ExperimentOptions o = opt;
+    o.intra_workers = intra_workers;
+    harness::Experiment experiment(o);
+    return experiment.Run(harness::StrategyKind::kMittos);
+  };
+  const harness::RunResult ref = run(1);
+  EXPECT_EQ(ref.num_shards, 4) << "128 nodes must auto-shard";
+  EXPECT_GT(ref.fault_episodes, 0u);
+  for (const int workers : {4, 0}) {
+    const harness::RunResult r = run(workers);
+    EXPECT_EQ(r.get_latencies.samples(), ref.get_latencies.samples()) << workers;
+    EXPECT_EQ(r.ebusy_failovers, ref.ebusy_failovers) << workers;
+    EXPECT_EQ(r.fault_episodes, ref.fault_episodes) << workers;
+    ASSERT_EQ(r.fault_log, ref.fault_log) << "intra_workers=" << workers;
+  }
+}
+
 }  // namespace
 }  // namespace mitt::fault

@@ -1,0 +1,251 @@
+// ShardedEngine (src/sim/sharded_engine.h): conservative-PDES unit tests
+// plus the end-to-end determinism properties the whole PR hangs on —
+// scorecards and trace exports must be *byte-identical* at any
+// MITT_INTRA_WORKERS x MITT_TRIAL_WORKERS combination.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/fault/fault_plan.h"
+#include "src/harness/experiment.h"
+#include "src/harness/scenario_runner.h"
+#include "src/obs/export.h"
+#include "src/sim/sharded_engine.h"
+
+namespace mitt {
+namespace {
+
+using harness::StrategyKind;
+
+// ------------------------------------------------------------ engine basics
+
+TEST(ShardedEngineTest, SingleShardMatchesPlainSimulator) {
+  // One shard, no lookahead needed: the engine degenerates to Simulator::Run.
+  sim::ShardedEngine::Options opt;
+  opt.num_shards = 1;
+  sim::ShardedEngine engine(opt);
+  std::vector<int> order;
+  engine.shard(0)->ScheduleAt(Micros(20), [&] { order.push_back(2); });
+  engine.shard(0)->ScheduleAt(Micros(10), [&] { order.push_back(1); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(engine.executed_events(), 2u);
+  EXPECT_EQ(engine.cross_shard_messages(), 0u);
+}
+
+TEST(ShardedEngineTest, PostDeliversInDeterministicOrder) {
+  // Messages from two source shards to one destination, tied on time: drain
+  // order must be (when, src, send-seq) regardless of worker count.
+  for (const int workers : {1, 2, 3}) {
+    sim::ShardedEngine::Options opt;
+    opt.num_shards = 3;
+    opt.lookahead = Micros(100);
+    opt.workers = workers;
+    sim::ShardedEngine e2(opt);
+    std::vector<int> arrivals;
+    // Shards 1 and 2 each send two messages to shard 0 at the same time;
+    // (src, k) is encoded in the arrival log to expose the tie-break.
+    for (const int src : {2, 1}) {
+      e2.shard(src)->ScheduleAt(Micros(10), [&e2, &arrivals, src] {
+        for (int k = 0; k < 2; ++k) {
+          e2.Post(0, Micros(500), [&arrivals, src, k] { arrivals.push_back(src * 10 + k); });
+        }
+      });
+    }
+    e2.Run();
+    // Equal time -> ascending src, then send order within the pair.
+    EXPECT_EQ(arrivals, (std::vector<int>{10, 11, 20, 21})) << "workers=" << workers;
+    EXPECT_EQ(e2.cross_shard_messages(), 4u);
+  }
+}
+
+TEST(ShardedEngineTest, GlobalEventsRunQuiescedBeforeEqualTimeShardEvents) {
+  sim::ShardedEngine::Options opt;
+  opt.num_shards = 2;
+  opt.lookahead = Micros(100);
+  sim::ShardedEngine engine(opt);
+  std::vector<int> order;
+  engine.shard(1)->ScheduleAt(Micros(50), [&] { order.push_back(2); });
+  engine.ScheduleGlobal(Micros(50), [&] {
+    // Quiesced: both shard clocks have been advanced to exactly this time.
+    EXPECT_EQ(engine.shard(0)->Now(), Micros(50));
+    EXPECT_EQ(engine.shard(1)->Now(), Micros(50));
+    order.push_back(1);
+  });
+  engine.shard(0)->ScheduleAt(Micros(10), [&] { order.push_back(0); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ShardedEngineTest, CriticalPathAccountingIsConsistent) {
+  // cp(1) counts every windowed event; cp is monotonically non-increasing in
+  // the worker count; cp(w) is a fixed property of the schedule, not of the
+  // worker count the engine actually ran with.
+  std::vector<uint64_t> cp1, cp8;
+  for (const int workers : {1, 4}) {
+    sim::ShardedEngine::Options opt;
+    opt.num_shards = 8;
+    opt.lookahead = Micros(100);
+    opt.workers = workers;
+    sim::ShardedEngine engine(opt);
+    for (int s = 0; s < 8; ++s) {
+      // Uneven load: shard s runs s+1 chains of 50 self-rescheduling events.
+      for (int c = 0; c <= s; ++c) {
+        auto* sim = engine.shard(s);
+        auto chain = std::make_shared<std::function<void(int)>>();
+        *chain = [sim, chain](int left) {
+          if (left > 0) {
+            sim->ScheduleAt(sim->Now() + Micros(30), [chain, left] { (*chain)(left - 1); });
+          }
+        };
+        sim->ScheduleAt(Micros(1) * (c + 1), [chain] { (*chain)(49); });
+      }
+    }
+    engine.Run();
+    EXPECT_EQ(engine.critical_path_events(1), engine.executed_events());
+    EXPECT_GE(engine.critical_path_events(1), engine.critical_path_events(2));
+    EXPECT_GE(engine.critical_path_events(2), engine.critical_path_events(4));
+    EXPECT_GE(engine.critical_path_events(4), engine.critical_path_events(8));
+    EXPECT_GT(engine.critical_path_events(8), 0u);
+    EXPECT_EQ(engine.critical_path_events(3), 0u) << "untracked worker count";
+    cp1.push_back(engine.critical_path_events(1));
+    cp8.push_back(engine.critical_path_events(8));
+  }
+  EXPECT_EQ(cp1[0], cp1[1]);  // Same schedule -> same accounting at any workers.
+  EXPECT_EQ(cp8[0], cp8[1]);
+}
+
+TEST(ShardedEngineTest, WorkerCountDoesNotChangeWindowCount) {
+  auto run = [](int workers) {
+    sim::ShardedEngine::Options opt;
+    opt.num_shards = 4;
+    opt.lookahead = Micros(100);
+    opt.workers = workers;
+    sim::ShardedEngine engine(opt);
+    uint64_t bounces = 0;
+    std::function<void(int)> bounce = [&](int dst) {
+      if (++bounces >= 1000) {
+        return;
+      }
+      engine.Post((dst + 1) % 4, engine.shard(dst)->Now() + Micros(120),
+                  [&bounce, dst] { bounce((dst + 1) % 4); });
+    };
+    engine.shard(0)->ScheduleAt(Micros(5), [&bounce] { bounce(0); });
+    engine.Run();
+    return std::tuple(engine.windows_run(), engine.executed_events(),
+                      engine.cross_shard_messages(), engine.Now());
+  };
+  const auto base = run(1);
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(4), base);
+  EXPECT_EQ(run(8), base);  // Caps at num_shards.
+}
+
+// ------------------------------------- 1000-node chaos scorecard property
+
+// The PR's headline property: a 1000-node chaos scenario — auto-sharded onto
+// the PDES engine — produces a byte-identical scorecard across every
+// MITT_INTRA_WORKERS x MITT_TRIAL_WORKERS combination. Workload is kept
+// small (the property is about ordering, not statistics).
+harness::ExperimentOptions ChaosWorld() {
+  harness::ExperimentOptions base;
+  base.num_nodes = 1000;
+  base.num_clients = 250;
+  base.num_keys_per_node = 64;
+  base.cache_pages = 64;
+  base.warm_fraction = 0.5;
+  base.measure_requests = 1200;
+  base.warmup_requests = 100;
+  base.noise = harness::NoiseKind::kNone;
+  base.deadline = Millis(13);
+  base.seed = 20170917;
+  return base;
+}
+
+std::string ChaosScorecard(int intra_workers, int trial_workers) {
+  harness::ScenarioRunner::Options opt;
+  opt.base = ChaosWorld();
+  opt.base.intra_workers = intra_workers;
+  opt.strategies = {StrategyKind::kMittos};
+  opt.workers = trial_workers;
+  harness::ScenarioRunner runner(opt);
+
+  fault::ChaosOptions chaos;
+  chaos.mean_gap = Seconds(2);
+  harness::FaultScenario scenario;
+  scenario.name = "chaos-1000";
+  scenario.plan = fault::GenerateChaosPlan(chaos, opt.base.num_nodes,
+                                           /*horizon=*/Seconds(30), /*seed=*/7);
+  const auto scores = runner.Run({scenario});
+  EXPECT_EQ(runner.results().back().num_shards, 31) << "1000 nodes must auto-shard";
+  EXPECT_GT(runner.results().back().fault_episodes, 0u) << "chaos must land";
+  return harness::ScorecardJson(scores, runner.slo_deadline());
+}
+
+TEST(ShardDeterminismTest, ChaosScorecardIsByteIdenticalAcrossWorkerGrids) {
+  const std::string reference = ChaosScorecard(/*intra_workers=*/1, /*trial_workers=*/1);
+  ASSERT_FALSE(reference.empty());
+  for (const int intra : {2, 8}) {
+    for (const int trial : {1, 4}) {
+      EXPECT_EQ(ChaosScorecard(intra, trial), reference)
+          << "intra_workers=" << intra << " trial_workers=" << trial;
+    }
+  }
+  // intra=1 x trial=4 closes the grid.
+  EXPECT_EQ(ChaosScorecard(1, 4), reference);
+}
+
+TEST(ShardDeterminismTest, IntraWorkerEnvVarIsHonored) {
+  // MITT_INTRA_WORKERS is the env knob CI sets; resolving through it must be
+  // the same as setting intra_workers explicitly.
+  ASSERT_EQ(setenv("MITT_INTRA_WORKERS", "2", /*overwrite=*/1), 0);
+  EXPECT_EQ(sim::DefaultIntraWorkers(), 2);
+  const std::string via_env = ChaosScorecard(/*intra_workers=*/0, /*trial_workers=*/1);
+  ASSERT_EQ(unsetenv("MITT_INTRA_WORKERS"), 0);
+  EXPECT_EQ(sim::DefaultIntraWorkers(), 1);
+  EXPECT_EQ(via_env, ChaosScorecard(/*intra_workers=*/2, /*trial_workers=*/1));
+}
+
+// -------------------------------------------- trace export byte-identity
+
+TEST(ShardDeterminismTest, TraceExportIsByteIdenticalAcrossWorkerCounts) {
+  // Traced sharded run with a deliberately tiny ring, so the drop-oldest
+  // path truncates: per-shard truncation plus the (begin, end, shard-order)
+  // merge must still export byte-identical JSON at any worker count.
+  auto run = [](int intra_workers) {
+    harness::ExperimentOptions opt;
+    opt.num_nodes = 128;
+    opt.num_clients = 64;
+    opt.num_keys_per_node = 256;
+    opt.cache_pages = 128;
+    opt.warm_fraction = 0.5;
+    opt.measure_requests = 1500;
+    opt.warmup_requests = 100;
+    opt.noise = harness::NoiseKind::kNone;
+    opt.deadline = Millis(13);
+    opt.trace = true;
+    opt.trace_capacity = 512;  // Small enough that every shard ring wraps.
+    opt.num_shards = 8;
+    opt.intra_workers = intra_workers;
+    opt.seed = 20170918;
+    harness::Experiment experiment(opt);
+    return experiment.Run(StrategyKind::kMittos);
+  };
+  const harness::RunResult ref = run(1);
+  ASSERT_EQ(ref.num_shards, 8);
+  ASSERT_GT(ref.trace_dropped, 0u) << "ring must wrap to exercise drop-oldest";
+  const std::string ref_json = obs::ChromeTraceJson(ref.trace_spans, "scale");
+  for (const int workers : {2, 8}) {
+    const harness::RunResult r = run(workers);
+    EXPECT_EQ(r.trace_dropped, ref.trace_dropped) << "workers=" << workers;
+    EXPECT_EQ(obs::ChromeTraceJson(r.trace_spans, "scale"), ref_json)
+        << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace mitt

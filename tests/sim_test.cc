@@ -361,5 +361,51 @@ TEST(SimulatorCancelTest, InterleavedCancellationStress) {
   *daemon = nullptr;
 }
 
+// --- Window API (the primitives ShardedEngine drives a shard with) ---
+
+TEST(SimulatorWindowTest, RunWindowExecutesStrictlyBelowEnd) {
+  Simulator sim;
+  std::vector<TimeNs> fired;
+  for (const TimeNs t : {Micros(10), Micros(50), Micros(100), Micros(150)}) {
+    sim.ScheduleAt(t, [&fired, &sim] { fired.push_back(sim.Now()); });
+  }
+  EXPECT_EQ(sim.NextEventTime(), Micros(10));
+  sim.RunWindow(Micros(100));  // End is exclusive: the t=100 event stays.
+  EXPECT_EQ(fired, (std::vector<TimeNs>{Micros(10), Micros(50)}));
+  EXPECT_EQ(sim.NextEventTime(), Micros(100));
+  sim.RunWindow(Micros(200));
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(sim.NextEventTime(), -1);
+}
+
+TEST(SimulatorWindowTest, RunWindowPicksUpEventsScheduledInsideTheWindow) {
+  Simulator sim;
+  std::vector<TimeNs> fired;
+  sim.ScheduleAt(Micros(10), [&] {
+    // Lands inside the open window: must fire in this same window.
+    sim.ScheduleAt(Micros(20), [&] { fired.push_back(sim.Now()); });
+    // Lands at the horizon: must wait for the next window.
+    sim.ScheduleAt(Micros(90), [&] { fired.push_back(sim.Now()); });
+  });
+  sim.RunWindow(Micros(90));
+  EXPECT_EQ(fired, (std::vector<TimeNs>{Micros(20)}));
+  sim.RunWindow(Micros(100));
+  EXPECT_EQ(fired, (std::vector<TimeNs>{Micros(20), Micros(90)}));
+}
+
+TEST(SimulatorWindowTest, AdvanceToMovesClockWithoutExecuting) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(Micros(500), [&] { fired = true; });
+  sim.AdvanceTo(Micros(200));
+  EXPECT_EQ(sim.Now(), Micros(200));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.NextEventTime(), Micros(500));
+  sim.AdvanceTo(Micros(100));  // Never rewinds.
+  EXPECT_EQ(sim.Now(), Micros(200));
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
 }  // namespace
 }  // namespace mitt::sim
