@@ -5,6 +5,7 @@
 
 #include "src/common/latency_recorder.h"
 #include "src/sim/simulator.h"
+#include "src/trace/replay.h"
 
 namespace mitt::bench {
 namespace {
@@ -49,50 +50,52 @@ LatencyRecorder Replay(const workload::TraceProfile& profile, const AccuracyOpti
   const int64_t span = profile.span_bytes;
   const uint64_t file = target->CreateFile(span);
 
-  auto trace = workload::GenerateTrace(profile, Seconds(600), options.seed ^ 0x7ACE);
-  if (trace.size() > options.max_ios) {
-    trace.resize(options.max_ios);
-  }
-
   if (accuracy_mode && options.fail_slow_multiplier != 1.0) {
     ScheduleFailSlowRamp(sim, target.get(), options);
   }
 
-  auto latencies = std::make_shared<LatencyRecorder>();
-  auto outstanding = std::make_shared<size_t>(trace.size());
-  for (const auto& rec : trace) {
-    const auto at = static_cast<TimeNs>(static_cast<double>(rec.at) / options.rate_scale);
-    sim->ScheduleAt(at, [target = target.get(), file, rec, deadline, latencies, outstanding,
-                         sim] {
-      if (rec.is_read) {
-        os::Os::ReadArgs args;
-        args.file = file;
-        args.offset = rec.offset;
-        args.size = rec.size;
-        args.deadline = deadline;
-        args.pid = 1;
-        args.bypass_cache = true;
-        const TimeNs start = sim->Now();
-        target->Read(args, [latencies, outstanding, start, sim](Status) {
-          latencies->Record(sim->Now() - start);
-          --*outstanding;
-        });
-      } else {
-        os::Os::WriteArgs args;
-        args.file = file;
-        args.offset = rec.offset;
-        args.size = rec.size;
-        args.pid = 2;
-        args.sync = true;
-        target->Write(args, [outstanding](Status) { --*outstanding; });
-      }
-    });
-  }
-  sim->RunUntilPredicate([outstanding] { return *outstanding == 0; });
+  // Same trace stream GenerateTrace used to materialize, now replayed
+  // through the shared cursor + open-loop driver (constant memory, any
+  // max_ios).
+  workload::SyntheticTraceCursor cursor(profile, Seconds(600), options.seed ^ 0x7ACE);
+  trace::TraceReplayDriver::Options ropt;
+  ropt.rate_scale = options.rate_scale;
+  ropt.max_events = options.max_ios;
 
-  LatencyRecorder result = *latencies;
+  LatencyRecorder latencies;
+  size_t completed = 0;
+  trace::TraceReplayDriver driver(
+      sim, &cursor, ropt,
+      [&, target = target.get(), file, deadline](const trace::TraceEvent& event,
+                                                 uint64_t /*global_index*/, bool /*measured*/) {
+        if (event.op == trace::kOpRead) {
+          os::Os::ReadArgs args;
+          args.file = file;
+          args.offset = event.offset;
+          args.size = event.len;
+          args.deadline = deadline;
+          args.pid = 1;
+          args.bypass_cache = true;
+          const TimeNs start = sim->Now();
+          target->Read(args, [&, start](Status) {
+            latencies.Record(sim->Now() - start);
+            ++completed;
+          });
+        } else {
+          os::Os::WriteArgs args;
+          args.file = file;
+          args.offset = event.offset;
+          args.size = event.len;
+          args.pid = 2;
+          args.sync = true;
+          target->Write(args, [&](Status) { ++completed; });
+        }
+      });
+  driver.Start();
+  sim->RunUntilPredicate([&] { return driver.done() && completed >= driver.dispatched(); });
+
   *out_os = std::move(target);
-  return result;
+  return latencies;
 }
 
 }  // namespace

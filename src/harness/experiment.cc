@@ -6,6 +6,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "src/client/adaptive.h"
@@ -17,7 +18,9 @@
 #include "src/fault/injector.h"
 #include "src/noise/noise_injector.h"
 #include "src/sim/sharded_engine.h"
+#include "src/trace/replay.h"
 #include "src/workload/macro_workload.h"
+#include "src/workload/synthetic_trace.h"
 
 namespace mitt::harness {
 namespace {
@@ -254,6 +257,31 @@ void Experiment::CollectCounters(StrategyKind kind, const client::GetStrategy& s
   }
 }
 
+uint64_t Experiment::ReplayKeyFor(int64_t offset, uint32_t stream, uint64_t keyspace) {
+  const uint64_t block = static_cast<uint64_t>(offset) >> 12;  // 4 KB slots.
+  return (block + static_cast<uint64_t>(stream) * kShardSeedStride) % keyspace;
+}
+
+std::unique_ptr<trace::TraceCursor> Experiment::MakeReplayCursor() const {
+  if (!options_.replay.trace_path.empty()) {
+    std::string error;
+    auto cursor = trace::FileTraceCursor::Open(options_.replay.trace_path, &error);
+    if (cursor == nullptr) {
+      throw std::runtime_error("replay trace: " + error);
+    }
+    return cursor;
+  }
+  const auto& profiles = workload::PaperTraceProfiles();
+  const size_t index = static_cast<size_t>(options_.replay.synthetic_profile);
+  if (index >= profiles.size()) {
+    throw std::runtime_error("replay: synthetic_profile out of range");
+  }
+  // Same seed stream the accuracy benches use for their synthetic replays.
+  return std::make_unique<workload::SyntheticTraceCursor>(
+      profiles[index], options_.replay.synthetic_duration, options_.seed ^ 0x7ACE,
+      static_cast<uint32_t>(index));
+}
+
 cluster::Cluster::Options Experiment::BuildClusterOptions(StrategyKind kind) const {
   cluster::Cluster::Options copt;
   copt.num_nodes = options_.num_nodes;
@@ -434,82 +462,118 @@ RunResult Experiment::Run(StrategyKind kind) {
   RunResult result;
   result.name = std::string(StrategyKindName(kind));
 
-  const size_t target = options_.warmup_requests + options_.measure_requests;
   const uint64_t keyspace = static_cast<uint64_t>(options_.num_keys_per_node) *
                             static_cast<uint64_t>(options_.num_nodes);
-  size_t issued = 0;
-  size_t completed = 0;
 
-  struct Client {
-    std::unique_ptr<workload::YcsbWorkload> workload;
-    Rng rng{0};
-  };
-  auto clients = std::make_shared<std::vector<Client>>(
-      static_cast<size_t>(options_.num_clients));
-  for (int c = 0; c < options_.num_clients; ++c) {
-    workload::YcsbWorkload::Options wopt;
-    wopt.num_keys = keyspace;
-    wopt.distribution = options_.distribution;
-    wopt.seed = options_.seed ^ (0xC0FFEEULL + static_cast<uint64_t>(c));
-    (*clients)[static_cast<size_t>(c)].workload = std::make_unique<workload::YcsbWorkload>(wopt);
-    (*clients)[static_cast<size_t>(c)].rng = Rng(wopt.seed ^ 0x77);
-  }
+  if (options_.replay.enabled()) {
+    // Open-loop trace replay: the driver fires one Get per trace arrival at
+    // its scaled arrival time; nothing waits for completions.
+    auto cursor = MakeReplayCursor();
+    trace::TraceReplayDriver::Options ropt;
+    ropt.rate_scale = options_.replay.rate_scale;
+    ropt.max_events = options_.replay.max_events;
+    ropt.warmup_events = options_.replay.warmup_events;
+    uint64_t completed = 0;
+    trace::TraceReplayDriver driver(
+        &sim, cursor.get(), ropt,
+        [&](const trace::TraceEvent& event, uint64_t /*global_index*/, bool measured) {
+          const TimeNs start = sim.Now();
+          strategy->Get(ReplayKeyFor(event.offset, event.stream, keyspace),
+                        [&, start, measured](const client::GetResult& get_result) {
+                          if (measured) {
+                            result.get_latencies.Record(sim.Now() - start);
+                            result.user_latencies.Record(sim.Now() - start);
+                          }
+                          if (!get_result.status.ok() && !get_result.status.busy()) {
+                            ++result.user_errors;
+                          }
+                          ++completed;
+                        });
+        });
+    driver.Start();
+    // Arrivals drain first (done()), then the tail of in-flight gets.
+    sim.RunUntilPredicate([&] { return driver.done() && completed >= driver.dispatched(); });
+    result.requests = completed;
+    result.replay_events = driver.dispatched();
+    result.replay_trace_reads = driver.reads_dispatched();
+    result.replay_trace_writes = driver.writes_dispatched();
+  } else {
+    const size_t target = options_.warmup_requests + options_.measure_requests;
+    size_t issued = 0;
+    size_t completed = 0;
 
-  auto next_key = [&, this](Client& cl) -> uint64_t {
-    for (int attempt = 0; attempt < 512; ++attempt) {
-      const uint64_t key = cl.workload->Next().key;
-      if (options_.pin_primary_node < 0 ||
-          cluster.ReplicasOf(key)[0] == options_.pin_primary_node) {
-        return key;
+    struct Client {
+      std::unique_ptr<workload::YcsbWorkload> workload;
+      Rng rng{0};
+    };
+    auto clients = std::make_shared<std::vector<Client>>(
+        static_cast<size_t>(options_.num_clients));
+    for (int c = 0; c < options_.num_clients; ++c) {
+      workload::YcsbWorkload::Options wopt;
+      wopt.num_keys = keyspace;
+      wopt.distribution = options_.distribution;
+      wopt.seed = options_.seed ^ (0xC0FFEEULL + static_cast<uint64_t>(c));
+      (*clients)[static_cast<size_t>(c)].workload = std::make_unique<workload::YcsbWorkload>(wopt);
+      (*clients)[static_cast<size_t>(c)].rng = Rng(wopt.seed ^ 0x77);
+    }
+
+    auto next_key = [&, this](Client& cl) -> uint64_t {
+      for (int attempt = 0; attempt < 512; ++attempt) {
+        const uint64_t key = cl.workload->Next().key;
+        if (options_.pin_primary_node < 0 ||
+            cluster.ReplicasOf(key)[0] == options_.pin_primary_node) {
+          return key;
+        }
       }
-    }
-    return 0;
-  };
+      return 0;
+    };
 
-  // Closed-loop client driver.
-  auto issue = std::make_shared<std::function<void(size_t)>>();
-  *issue = [&, this, issue](size_t client_idx) {
-    if (issued >= target) {
-      return;
+    // Closed-loop client driver.
+    auto issue = std::make_shared<std::function<void(size_t)>>();
+    *issue = [&, this, issue](size_t client_idx) {
+      if (issued >= target) {
+        return;
+      }
+      const size_t request_index = issued++;
+      Client& cl = (*clients)[client_idx];
+      const TimeNs start = sim.Now();
+      const bool measured = request_index >= options_.warmup_requests;
+      auto remaining = std::make_shared<int>(options_.scale_factor);
+      for (int s = 0; s < options_.scale_factor; ++s) {
+        const uint64_t key = next_key(cl);
+        const TimeNs get_start = sim.Now();
+        strategy->Get(key, [&, issue, client_idx, start, get_start, measured, remaining](
+                               const client::GetResult& get_result) {
+          if (measured) {
+            result.get_latencies.Record(sim.Now() - get_start);
+          }
+          if (!get_result.status.ok() && !get_result.status.busy()) {
+            ++result.user_errors;
+          }
+          if (--*remaining > 0) {
+            return;
+          }
+          if (measured) {
+            result.user_latencies.Record(sim.Now() - start);
+          }
+          ++completed;
+          (*issue)(client_idx);
+        });
+      }
+    };
+    for (int c = 0; c < options_.num_clients; ++c) {
+      (*issue)(static_cast<size_t>(c));
     }
-    const size_t request_index = issued++;
-    Client& cl = (*clients)[client_idx];
-    const TimeNs start = sim.Now();
-    const bool measured = request_index >= options_.warmup_requests;
-    auto remaining = std::make_shared<int>(options_.scale_factor);
-    for (int s = 0; s < options_.scale_factor; ++s) {
-      const uint64_t key = next_key(cl);
-      const TimeNs get_start = sim.Now();
-      strategy->Get(key, [&, issue, client_idx, start, get_start, measured, remaining](
-                             const client::GetResult& get_result) {
-        if (measured) {
-          result.get_latencies.Record(sim.Now() - get_start);
-        }
-        if (!get_result.status.ok() && !get_result.status.busy()) {
-          ++result.user_errors;
-        }
-        if (--*remaining > 0) {
-          return;
-        }
-        if (measured) {
-          result.user_latencies.Record(sim.Now() - start);
-        }
-        ++completed;
-        (*issue)(client_idx);
-      });
-    }
-  };
-  for (int c = 0; c < options_.num_clients; ++c) {
-    (*issue)(static_cast<size_t>(c));
+
+    sim.RunUntilPredicate([&] { return completed >= target; });
+
+    // The driver lambda captures its own shared_ptr (so in-flight completions
+    // can re-issue); clear the function to break that cycle or it leaks.
+    *issue = nullptr;
+
+    result.requests = completed;
   }
 
-  sim.RunUntilPredicate([&] { return completed >= target; });
-
-  // The driver lambda captures its own shared_ptr (so in-flight completions
-  // can re-issue); clear the function to break that cycle or it leaks.
-  *issue = nullptr;
-
-  result.requests = completed;
   for (const auto& injector : io_noise) {
     result.noise_ios += injector->ios_issued();
   }
@@ -598,103 +662,168 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
         MakeStrategy(kind, engine.shard(s), &cluster, static_cast<uint64_t>(s));
   }
 
-  const size_t target = options_.warmup_requests + options_.measure_requests;
   const uint64_t keyspace = static_cast<uint64_t>(options_.num_keys_per_node) *
                             static_cast<uint64_t>(options_.num_nodes);
-  const size_t num_clients = static_cast<size_t>(options_.num_clients);
 
-  // The legacy driver splits warmup from measurement with one global issue
-  // counter; sharded trials cannot share a counter without racing, so each
-  // client gets a fixed quota (and warmup share) up front. The split is a
-  // pure function of (client count, request counts) — independent of worker
-  // count, so scorecards stay bit-identical across MITT_INTRA_WORKERS.
-  struct Client {
-    std::unique_ptr<workload::YcsbWorkload> workload;
-    Rng rng{0};
-    int shard = 0;
-    size_t quota = 0;        // Requests this client will issue in total.
-    size_t warmup = 0;       // First `warmup` of them are unmeasured.
-    size_t issued = 0;
-  };
-  auto clients = std::make_shared<std::vector<Client>>(num_clients);
-  for (size_t c = 0; c < num_clients; ++c) {
-    Client& cl = (*clients)[c];
-    workload::YcsbWorkload::Options wopt;
-    wopt.num_keys = keyspace;
-    wopt.distribution = options_.distribution;
-    wopt.seed = options_.seed ^ (0xC0FFEEULL + static_cast<uint64_t>(c));
-    cl.workload = std::make_unique<workload::YcsbWorkload>(wopt);
-    cl.rng = Rng(wopt.seed ^ 0x77);
-    cl.shard = static_cast<int>(c % static_cast<size_t>(num_shards));
-    cl.quota = target / num_clients + (c < target % num_clients ? 1 : 0);
-    cl.warmup = options_.warmup_requests / num_clients +
-                (c < options_.warmup_requests % num_clients ? 1 : 0);
-  }
+  if (options_.replay.enabled()) {
+    // Open-loop replay, pre-partitioned per shard in trace order: every
+    // shard owns its own cursor over the whole trace and claims the records
+    // with stream % num_shards == s. The partition is a pure function of
+    // the trace — worker count never moves an arrival, so scorecards stay
+    // bit-identical across MITT_INTRA_WORKERS. Completions route back to
+    // the issuing shard (see client/strategy.cc), keeping every ShardCtx
+    // mutation shard-local.
+    std::vector<std::unique_ptr<trace::TraceCursor>> cursors;
+    std::vector<std::unique_ptr<trace::TraceReplayDriver>> drivers;
+    cursors.reserve(static_cast<size_t>(num_shards));
+    drivers.reserve(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      cursors.push_back(MakeReplayCursor());
+      trace::TraceReplayDriver::Options ropt;
+      ropt.rate_scale = options_.replay.rate_scale;
+      ropt.max_events = options_.replay.max_events;
+      ropt.warmup_events = options_.replay.warmup_events;
+      ropt.shard = s;
+      ropt.num_shards = num_shards;
+      sim::Simulator* sim = engine.shard(s);
+      ShardCtx* ctx = &shard_ctx[static_cast<size_t>(s)];
+      client::GetStrategy* strategy = ctx->strategy.get();
+      drivers.push_back(std::make_unique<trace::TraceReplayDriver>(
+          sim, cursors.back().get(), ropt,
+          [sim, ctx, strategy, keyspace](const trace::TraceEvent& event,
+                                         uint64_t /*global_index*/, bool measured) {
+            const TimeNs start = sim->Now();
+            strategy->Get(ReplayKeyFor(event.offset, event.stream, keyspace),
+                          [sim, ctx, start, measured](const client::GetResult& get_result) {
+                            if (measured) {
+                              ctx->get_latencies.Record(sim->Now() - start);
+                              ctx->user_latencies.Record(sim->Now() - start);
+                            }
+                            if (!get_result.status.ok() && !get_result.status.busy()) {
+                              ++ctx->user_errors;
+                            }
+                            ++ctx->completed;
+                          });
+          }));
+      drivers.back()->Start();
+    }
 
-  auto next_key = [&, this](Client& cl) -> uint64_t {
-    for (int attempt = 0; attempt < 512; ++attempt) {
-      const uint64_t key = cl.workload->Next().key;
-      if (options_.pin_primary_node < 0 ||
-          cluster.ReplicasOf(key)[0] == options_.pin_primary_node) {
-        return key;
+    // The predicate runs at quiesced barriers, so summing shard counters is
+    // race-free: arrivals drain first, then the in-flight tail.
+    engine.RunUntilPredicate([&] {
+      uint64_t dispatched = 0;
+      uint64_t completed = 0;
+      bool all_done = true;
+      for (int s = 0; s < num_shards; ++s) {
+        all_done = all_done && drivers[static_cast<size_t>(s)]->done();
+        dispatched += drivers[static_cast<size_t>(s)]->dispatched();
+        completed += shard_ctx[static_cast<size_t>(s)].completed;
       }
-    }
-    return 0;
-  };
+      return all_done && completed >= dispatched;
+    });
 
-  // Closed-loop driver; runs entirely on the client's home shard.
-  auto issue = std::make_shared<std::function<void(size_t)>>();
-  *issue = [&, issue](size_t client_idx) {
-    Client& cl = (*clients)[client_idx];
-    if (cl.issued >= cl.quota) {
-      return;
+    for (const auto& driver : drivers) {
+      result.replay_events += driver->dispatched();
+      result.replay_trace_reads += driver->reads_dispatched();
+      result.replay_trace_writes += driver->writes_dispatched();
     }
-    const size_t request_index = cl.issued++;
-    ShardCtx& ctx = shard_ctx[static_cast<size_t>(cl.shard)];
-    sim::Simulator* sim = engine.shard(cl.shard);
-    const TimeNs start = sim->Now();
-    const bool measured = request_index >= cl.warmup;
-    auto remaining = std::make_shared<int>(options_.scale_factor);
-    for (int s = 0; s < options_.scale_factor; ++s) {
-      const uint64_t key = next_key(cl);
-      const TimeNs get_start = sim->Now();
-      ctx.strategy->Get(key, [&, issue, client_idx, start, get_start, measured, remaining](
-                                 const client::GetResult& get_result) {
-        ShardCtx& cb_ctx = shard_ctx[static_cast<size_t>((*clients)[client_idx].shard)];
-        sim::Simulator* cb_sim = engine.shard((*clients)[client_idx].shard);
-        if (measured) {
-          cb_ctx.get_latencies.Record(cb_sim->Now() - get_start);
-        }
-        if (!get_result.status.ok() && !get_result.status.busy()) {
-          ++cb_ctx.user_errors;
-        }
-        if (--*remaining > 0) {
-          return;
-        }
-        if (measured) {
-          cb_ctx.user_latencies.Record(cb_sim->Now() - start);
-        }
-        ++cb_ctx.completed;
-        (*issue)(client_idx);
-      });
+  } else {
+    const size_t target = options_.warmup_requests + options_.measure_requests;
+    const size_t num_clients = static_cast<size_t>(options_.num_clients);
+
+    // The legacy driver splits warmup from measurement with one global issue
+    // counter; sharded trials cannot share a counter without racing, so each
+    // client gets a fixed quota (and warmup share) up front. The split is a
+    // pure function of (client count, request counts) — independent of worker
+    // count, so scorecards stay bit-identical across MITT_INTRA_WORKERS.
+    struct Client {
+      std::unique_ptr<workload::YcsbWorkload> workload;
+      Rng rng{0};
+      int shard = 0;
+      size_t quota = 0;        // Requests this client will issue in total.
+      size_t warmup = 0;       // First `warmup` of them are unmeasured.
+      size_t issued = 0;
+    };
+    auto clients = std::make_shared<std::vector<Client>>(num_clients);
+    for (size_t c = 0; c < num_clients; ++c) {
+      Client& cl = (*clients)[c];
+      workload::YcsbWorkload::Options wopt;
+      wopt.num_keys = keyspace;
+      wopt.distribution = options_.distribution;
+      wopt.seed = options_.seed ^ (0xC0FFEEULL + static_cast<uint64_t>(c));
+      cl.workload = std::make_unique<workload::YcsbWorkload>(wopt);
+      cl.rng = Rng(wopt.seed ^ 0x77);
+      cl.shard = static_cast<int>(c % static_cast<size_t>(num_shards));
+      cl.quota = target / num_clients + (c < target % num_clients ? 1 : 0);
+      cl.warmup = options_.warmup_requests / num_clients +
+                  (c < options_.warmup_requests % num_clients ? 1 : 0);
     }
-  };
-  for (size_t c = 0; c < num_clients; ++c) {
-    (*issue)(c);
+
+    auto next_key = [&, this](Client& cl) -> uint64_t {
+      for (int attempt = 0; attempt < 512; ++attempt) {
+        const uint64_t key = cl.workload->Next().key;
+        if (options_.pin_primary_node < 0 ||
+            cluster.ReplicasOf(key)[0] == options_.pin_primary_node) {
+          return key;
+        }
+      }
+      return 0;
+    };
+
+    // Closed-loop driver; runs entirely on the client's home shard.
+    auto issue = std::make_shared<std::function<void(size_t)>>();
+    *issue = [&, issue](size_t client_idx) {
+      Client& cl = (*clients)[client_idx];
+      if (cl.issued >= cl.quota) {
+        return;
+      }
+      const size_t request_index = cl.issued++;
+      ShardCtx& ctx = shard_ctx[static_cast<size_t>(cl.shard)];
+      sim::Simulator* sim = engine.shard(cl.shard);
+      const TimeNs start = sim->Now();
+      const bool measured = request_index >= cl.warmup;
+      auto remaining = std::make_shared<int>(options_.scale_factor);
+      for (int s = 0; s < options_.scale_factor; ++s) {
+        const uint64_t key = next_key(cl);
+        const TimeNs get_start = sim->Now();
+        ctx.strategy->Get(key, [&, issue, client_idx, start, get_start, measured, remaining](
+                                   const client::GetResult& get_result) {
+          ShardCtx& cb_ctx = shard_ctx[static_cast<size_t>((*clients)[client_idx].shard)];
+          sim::Simulator* cb_sim = engine.shard((*clients)[client_idx].shard);
+          if (measured) {
+            cb_ctx.get_latencies.Record(cb_sim->Now() - get_start);
+          }
+          if (!get_result.status.ok() && !get_result.status.busy()) {
+            ++cb_ctx.user_errors;
+          }
+          if (--*remaining > 0) {
+            return;
+          }
+          if (measured) {
+            cb_ctx.user_latencies.Record(cb_sim->Now() - start);
+          }
+          ++cb_ctx.completed;
+          (*issue)(client_idx);
+        });
+      }
+    };
+    for (size_t c = 0; c < num_clients; ++c) {
+      (*issue)(c);
+    }
+
+    // Quotas drain the driver naturally; the predicate ends the run at the
+    // first quiesced barrier where every quota has completed (so daemons —
+    // noise streams, breaker probes — cannot keep the engine alive).
+    engine.RunUntilPredicate([&] {
+      size_t completed = 0;
+      for (const ShardCtx& ctx : shard_ctx) {
+        completed += ctx.completed;
+      }
+      return completed >= target;
+    });
+
+    *issue = nullptr;  // Break the driver lambda's self-reference cycle.
   }
-
-  // Quotas drain the driver naturally; the predicate ends the run at the
-  // first quiesced barrier where every quota has completed (so daemons —
-  // noise streams, breaker probes — cannot keep the engine alive).
-  engine.RunUntilPredicate([&] {
-    size_t completed = 0;
-    for (const ShardCtx& ctx : shard_ctx) {
-      completed += ctx.completed;
-    }
-    return completed >= target;
-  });
-
-  *issue = nullptr;  // Break the driver lambda's self-reference cycle.
 
   for (const ShardCtx& ctx : shard_ctx) {
     result.requests += ctx.completed;

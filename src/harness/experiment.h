@@ -31,6 +31,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/os/os.h"
+#include "src/trace/cursor.h"
 #include "src/workload/ycsb.h"
 
 namespace mitt::noise {
@@ -129,6 +130,32 @@ struct ExperimentOptions {
   // plan replays identically for every strategy so CDFs stay comparable.
   fault::FaultPlan fault_plan;
 
+  // --- Open-loop trace replay (src/trace/) ---
+  // When enabled(), the closed-loop YCSB driver is replaced by a
+  // TraceReplayDriver: every trace arrival becomes one client Get through
+  // the full client -> kv -> OS stack at its (rate-scaled) arrival time,
+  // and measure/warmup_requests are ignored in favor of the trace's own
+  // event counts. Offsets map onto the experiment keyspace via
+  // ReplayKeyFor(); arrivals are pre-partitioned per shard in trace order
+  // (stream % num_shards), so results stay bit-identical at any
+  // MITT_TRIAL_WORKERS x MITT_INTRA_WORKERS.
+  struct ReplayConfig {
+    // On-disk columnar trace (trace_tool import-csv / gen output).
+    std::string trace_path;
+    // Or a synthetic paper trace: index into workload::PaperTraceProfiles()
+    // (-1 = none). Ignored when trace_path is set.
+    int synthetic_profile = -1;
+    DurationNs synthetic_duration = Seconds(60);
+    // Arrival compression (>1 = denser); same convention as the accuracy
+    // benches: scaled arrival = at / rate_scale.
+    double rate_scale = 1.0;
+    uint64_t max_events = 0;     // 0 = the whole trace.
+    uint64_t warmup_events = 0;  // Leading events dispatched unmeasured.
+
+    bool enabled() const { return !trace_path.empty() || synthetic_profile >= 0; }
+  };
+  ReplayConfig replay;
+
   // Resilience knobs for StrategyKind::kMittosResilient (deadline comes from
   // `deadline` above; the name/deadline fields here are overridden).
   client::ResilientOptions resilience;
@@ -187,6 +214,12 @@ struct RunResult {
   uint64_t unbounded_deadline_tries = 0;
   DurationNs max_sent_deadline = 0;
 
+  // Replay harvest (src/trace/): open-loop arrivals dispatched, split by the
+  // trace's own op column (both dispatch as Gets; the split is bookkeeping).
+  uint64_t replay_events = 0;
+  uint64_t replay_trace_reads = 0;
+  uint64_t replay_trace_writes = 0;
+
   // Fault harvest (src/fault/): episodes fully applied during the run, in
   // clear order — the determinism check compares these across worker counts.
   std::vector<fault::AppliedEpisode> fault_log;
@@ -222,6 +255,11 @@ class Experiment {
   const ExperimentOptions& options() const { return options_; }
   DurationNs derived_p95() const { return derived_p95_; }
 
+  // The deterministic trace-offset -> keyspace mapping the replay driver
+  // uses: block number plus a per-stream golden-ratio displacement, mod the
+  // keyspace — per-stream sequential runs survive, streams don't collide.
+  static uint64_t ReplayKeyFor(int64_t offset, uint32_t stream, uint64_t keyspace);
+
  private:
   struct World;
 
@@ -235,6 +273,9 @@ class Experiment {
                   std::vector<std::unique_ptr<noise::IoNoiseInjector>>& io_noise,
                   std::vector<std::unique_ptr<noise::CacheNoiseInjector>>& cache_noise,
                   std::vector<std::unique_ptr<workload::MacroWorkload>>& macro_noise);
+  // One fresh cursor over the configured replay source (each shard owns its
+  // own). Throws std::runtime_error if the trace cannot be opened.
+  std::unique_ptr<trace::TraceCursor> MakeReplayCursor() const;
   // `seed_salt` decorrelates per-shard strategy instances; 0 = the legacy
   // stream.
   std::unique_ptr<client::GetStrategy> MakeStrategy(StrategyKind kind, sim::Simulator* sim,

@@ -1,0 +1,148 @@
+// mitt::trace on-disk format (v1): compact columnar block traces.
+//
+// Motivation (ROADMAP item 3, TraceTracker direction): judge SLO strategies
+// on real arrival processes, which means streaming tens of millions of IOs
+// through the stack without ever materializing the trace in memory. The
+// format is built for exactly that access pattern — forward replay in trace
+// order, constant memory, plus cheap seek-by-time:
+//
+//   [Header 64 B]
+//   [Block 0][Block 1]...[Block B-1]      <- payload, contiguous
+//   [Index  16 B x B]                     <- first/last arrival per block
+//   [Footer 32 B]
+//
+// Records are stored in fixed-width *column* runs inside each block (a
+// Parquet-style row group): for a block of n records the byte layout is
+//   arrival_us u64[n] | offset i64[n] | len u32[n] | op u8[n] | stream u32[n]
+// so a reader touches one 25n-byte span per block and decodes straight-line.
+// Every block holds exactly `block_records` records except the last, which
+// makes each block's file offset a pure function of the header — the index
+// exists only for seek-by-time and is never required for replay.
+//
+// Invariants (checked by the writer, validated by the reader):
+//   - arrival_us is non-decreasing across the whole file (replay order ==
+//     storage order; binary search over the index is sound).
+//   - record_count and num_blocks in header and footer agree, and the file
+//     size equals header + payload + index + footer exactly (truncation is
+//     detected before any record is returned).
+//   - the header and index carry FNV-1a checksums.
+//
+// All integers are little-endian. Arrivals are stored in *microseconds*
+// (u64); the in-memory TraceEvent carries nanoseconds (TimeNs) like the rest
+// of the simulator, so writers quantize (truncate) to 1 us — the resolution
+// every public block-trace format we import provides anyway.
+
+#ifndef MITTOS_TRACE_FORMAT_H_
+#define MITTOS_TRACE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/time.h"
+
+namespace mitt::trace {
+
+// "MITTRACE" as a little-endian u64.
+inline constexpr uint64_t kTraceMagic = 0x454341525454494DULL;
+// "ECARTTIM" — the footer magic, distinct so a header read at the wrong
+// offset can never validate.
+inline constexpr uint64_t kFooterMagic = 0x4D495454'52414345ULL;
+inline constexpr uint32_t kTraceVersion = 1;
+
+inline constexpr size_t kHeaderBytes = 64;
+inline constexpr size_t kIndexEntryBytes = 16;
+inline constexpr size_t kFooterBytes = 32;
+// arrival_us(8) + offset(8) + len(4) + op(1) + stream(4).
+inline constexpr size_t kRecordBytes = 25;
+
+inline constexpr uint32_t kDefaultBlockRecords = 4096;
+
+// Trace operations. The replay driver pushes both through the client stack
+// as Gets (the arrival process is what the SLO study needs); importers and
+// the breakdowns keep the distinction.
+inline constexpr uint8_t kOpRead = 0;
+inline constexpr uint8_t kOpWrite = 1;
+
+// One trace arrival, in simulator units. `at` is nanoseconds of simulated
+// time since trace start; the file stores it quantized to microseconds.
+struct TraceEvent {
+  TimeNs at = 0;
+  int64_t offset = 0;
+  uint32_t len = 4096;
+  uint8_t op = kOpRead;
+  uint32_t stream = 0;
+};
+
+// Decoded header (fields in file order; `checksum` covers the preceding 56
+// header bytes).
+struct TraceHeader {
+  uint32_t version = kTraceVersion;
+  uint32_t block_records = kDefaultBlockRecords;
+  uint64_t record_count = 0;
+  int64_t span_bytes = 0;  // Address-space upper bound (0 = unknown).
+  uint32_t num_streams = 0;
+  uint64_t num_blocks = 0;
+
+  uint64_t PayloadBytes() const { return record_count * kRecordBytes; }
+  uint64_t IndexOffset() const { return kHeaderBytes + PayloadBytes(); }
+  uint64_t FileBytes() const {
+    return IndexOffset() + num_blocks * kIndexEntryBytes + kFooterBytes;
+  }
+  // Records in block `b` (all blocks full except possibly the last).
+  uint32_t RecordsInBlock(uint64_t b) const {
+    const uint64_t done = b * block_records;
+    const uint64_t rest = record_count - done;
+    return static_cast<uint32_t>(rest < block_records ? rest : block_records);
+  }
+  uint64_t BlockFileOffset(uint64_t b) const {
+    return kHeaderBytes + b * static_cast<uint64_t>(block_records) * kRecordBytes;
+  }
+};
+
+// Per-block index entry: the block's first and last arrival, microseconds.
+struct BlockIndexEntry {
+  uint64_t first_arrival_us = 0;
+  uint64_t last_arrival_us = 0;
+};
+
+// --- Little-endian scalar encode/decode (alignment- and endian-safe) ---
+
+inline void StoreLe32(unsigned char* p, uint32_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+inline void StoreLe64(unsigned char* p, uint64_t v) {
+  StoreLe32(p, static_cast<uint32_t>(v));
+  StoreLe32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t LoadLe32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+inline uint64_t LoadLe64(const unsigned char* p) {
+  return static_cast<uint64_t>(LoadLe32(p)) | static_cast<uint64_t>(LoadLe32(p + 4)) << 32;
+}
+
+// FNV-1a 64 over a byte span — the header/index integrity check. Not a
+// cryptographic guarantee; it catches the failure modes that matter here
+// (truncation, partial writes, stray edits).
+inline uint64_t Fnv1a(const unsigned char* data, size_t n, uint64_t h = 0xCBF29CE484222325ULL) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// Arrival quantization used by every writer: simulator ns -> file us.
+inline uint64_t ArrivalUs(TimeNs at) { return static_cast<uint64_t>(at) / 1000; }
+
+}  // namespace mitt::trace
+
+#endif  // MITTOS_TRACE_FORMAT_H_

@@ -1,0 +1,190 @@
+#include "src/trace/import.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace mitt::trace {
+namespace {
+
+// FILETIME ticks are 100 ns since 1601: any plausible capture timestamp is
+// ~1.2e17..1.5e17 ticks. Fractional-second exports are < ~1e10. Everything
+// between is ambiguous and treated as microseconds already.
+constexpr double kFiletimeThreshold = 1e15;
+
+struct CsvRecord {
+  double timestamp = 0;  // Raw, units resolved by magnitude.
+  std::string host;
+  uint32_t disk = 0;
+  bool is_read = true;
+  int64_t offset = 0;
+  int64_t size = 0;
+};
+
+// Splits one CSV line into the 7 MSR fields. Tolerates trailing fields
+// (some exports append extra columns) but requires the first six.
+bool ParseLine(const std::string& line, CsvRecord* out) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (fields.size() < 7) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  if (fields.size() < 6) {
+    return false;
+  }
+  char* end = nullptr;
+  out->timestamp = std::strtod(fields[0].c_str(), &end);
+  if (end == fields[0].c_str() || out->timestamp < 0) {
+    return false;
+  }
+  out->host = fields[1];
+  out->disk = static_cast<uint32_t>(std::strtoul(fields[2].c_str(), nullptr, 10));
+  std::string type = fields[3];
+  for (char& c : type) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (type == "read" || type == "r") {
+    out->is_read = true;
+  } else if (type == "write" || type == "w") {
+    out->is_read = false;
+  } else {
+    return false;
+  }
+  out->offset = std::strtoll(fields[4].c_str(), &end, 10);
+  if (end == fields[4].c_str() || out->offset < 0) {
+    return false;
+  }
+  out->size = std::strtoll(fields[5].c_str(), &end, 10);
+  if (end == fields[5].c_str() || out->size <= 0) {
+    return false;
+  }
+  return true;
+}
+
+uint64_t ToMicros(double raw) {
+  if (raw > kFiletimeThreshold) {
+    return static_cast<uint64_t>(raw / 10.0);  // FILETIME ticks -> us.
+  }
+  if (raw < 1e10) {
+    return static_cast<uint64_t>(raw * 1e6);  // Seconds -> us.
+  }
+  return static_cast<uint64_t>(raw);  // Already microseconds.
+}
+
+}  // namespace
+
+bool ImportBlockCsv(std::istream& in, TraceWriter* writer, const CsvImportOptions& options,
+                    ImportStats* stats, std::string* error) {
+  ImportStats local;
+  std::map<std::pair<std::string, uint32_t>, uint32_t> stream_ids;
+  bool have_base = false;
+  uint64_t base_us = 0;
+  uint64_t prev_us = 0;
+  const double rate = options.rate_scale > 0 ? options.rate_scale : 1.0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.back() == '\r') {
+      if (!line.empty()) {
+        line.pop_back();
+      }
+      if (line.empty()) {
+        continue;
+      }
+    }
+    ++local.lines;
+    CsvRecord rec;
+    if (!ParseLine(line, &rec)) {
+      ++local.skipped_malformed;  // Headers and ragged tails land here.
+      continue;
+    }
+    uint64_t us = ToMicros(rec.timestamp);
+    if (options.rebase_time) {
+      if (!have_base) {
+        base_us = us;
+        have_base = true;
+      }
+      us = us >= base_us ? us - base_us : 0;
+    }
+    us = static_cast<uint64_t>(static_cast<double>(us) / rate);
+    if (local.imported > 0 && us < prev_us) {
+      us = prev_us;  // MSR traces are sorted but not strictly; clamp ties.
+      ++local.clamped_unsorted;
+    }
+    prev_us = us;
+
+    TraceEvent event;
+    event.at = static_cast<TimeNs>(us) * 1000;
+    event.offset = options.remap_span_bytes > 0 ? rec.offset % options.remap_span_bytes
+                                                : rec.offset;
+    event.len = static_cast<uint32_t>(rec.size);
+    event.op = rec.is_read ? kOpRead : kOpWrite;
+    const auto [it, inserted] = stream_ids.try_emplace(
+        {rec.host, rec.disk}, static_cast<uint32_t>(stream_ids.size()));
+    event.stream = it->second;
+    (void)inserted;
+
+    if (!writer->Append(event)) {
+      if (error != nullptr) {
+        *error = "write failed: " + writer->error();
+      }
+      return false;
+    }
+    rec.is_read ? ++local.reads : ++local.writes;
+    ++local.imported;
+    local.span_us = us;
+    if (options.max_records > 0 && local.imported >= options.max_records) {
+      break;
+    }
+  }
+  local.streams = static_cast<uint32_t>(stream_ids.size());
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  if (local.imported == 0) {
+    if (error != nullptr) {
+      *error = "no parseable records in input";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ImportBlockCsvFile(const std::string& csv_path, const std::string& out_path,
+                        const CsvImportOptions& options, ImportStats* stats,
+                        std::string* error) {
+  std::ifstream in(csv_path);
+  if (!in.is_open()) {
+    if (error != nullptr) {
+      *error = "cannot open csv: " + csv_path;
+    }
+    return false;
+  }
+  TraceWriter::Options wopt;
+  wopt.span_bytes = options.remap_span_bytes;
+  auto writer = TraceWriter::Open(out_path, wopt, error);
+  if (writer == nullptr) {
+    return false;
+  }
+  if (!ImportBlockCsv(in, writer.get(), options, stats, error)) {
+    return false;
+  }
+  if (!writer->Finish()) {
+    if (error != nullptr) {
+      *error = "finish failed: " + writer->error();
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mitt::trace

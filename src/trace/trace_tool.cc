@@ -1,0 +1,235 @@
+// trace_tool: command-line front end for the mitt::trace format.
+//
+//   trace_tool gen --out t.mitttrace [--profile EXCH|mix] [--duration-s 60]
+//                  [--seed 42] [--max-records N]
+//       Write a synthetic paper-trace (or the five-profile mix) to disk.
+//
+//   trace_tool import-csv --in msr.csv --out t.mitttrace [--rate-scale X]
+//                  [--no-rebase] [--remap-span-bytes N] [--max-records N]
+//       Convert an MSR Cambridge / SNIA block-trace CSV.
+//
+//   trace_tool info t.mitttrace
+//       Validate and print header, span, and per-op counts.
+//
+//   trace_tool sample --out tests/data/sample_mix.mitttrace
+//       Regenerate the checked-in sample trace (fixed recipe; see
+//       tests/data/README.md).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/trace/cursor.h"
+#include "src/trace/import.h"
+#include "src/trace/writer.h"
+#include "src/workload/synthetic_trace.h"
+
+namespace {
+
+using mitt::workload::PaperTraceProfiles;
+using mitt::workload::SyntheticTraceCursor;
+using mitt::workload::TraceProfile;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trace_tool gen --out PATH [--profile NAME|mix] [--duration-s N]\n"
+               "                      [--seed N] [--max-records N]\n"
+               "       trace_tool import-csv --in CSV --out PATH [--rate-scale X]\n"
+               "                      [--no-rebase] [--remap-span-bytes N] [--max-records N]\n"
+               "       trace_tool info PATH\n"
+               "       trace_tool sample --out PATH\n");
+  return 2;
+}
+
+// Pulls `--flag value` pairs out of argv; returns nullptr when absent.
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const TraceProfile* FindProfile(const std::string& name) {
+  for (const auto& profile : PaperTraceProfiles()) {
+    if (profile.name == name) {
+      return &profile;
+    }
+  }
+  return nullptr;
+}
+
+int RunGen(int argc, char** argv) {
+  const char* out = FlagValue(argc, argv, "--out");
+  if (out == nullptr) {
+    return Usage();
+  }
+  const char* profile_name = FlagValue(argc, argv, "--profile");
+  const char* duration_s = FlagValue(argc, argv, "--duration-s");
+  const char* seed_s = FlagValue(argc, argv, "--seed");
+  const char* max_s = FlagValue(argc, argv, "--max-records");
+  const mitt::DurationNs duration =
+      mitt::Seconds(duration_s != nullptr ? std::atol(duration_s) : 60);
+  const uint64_t seed = seed_s != nullptr ? std::strtoull(seed_s, nullptr, 10) : 42;
+  const uint64_t max_records = max_s != nullptr ? std::strtoull(max_s, nullptr, 10) : 0;
+
+  std::string error;
+  auto writer = mitt::trace::TraceWriter::Open(out, {}, &error);
+  if (writer == nullptr) {
+    std::fprintf(stderr, "trace_tool: %s\n", error.c_str());
+    return 1;
+  }
+
+  bool ok = false;
+  if (profile_name == nullptr || std::strcmp(profile_name, "mix") == 0) {
+    ok = mitt::workload::WriteSyntheticMix(PaperTraceProfiles(), duration, seed, max_records,
+                                           writer.get());
+  } else {
+    const TraceProfile* profile = FindProfile(profile_name);
+    if (profile == nullptr) {
+      std::fprintf(stderr, "trace_tool: unknown profile '%s'\n", profile_name);
+      return 1;
+    }
+    ok = mitt::workload::WriteSyntheticMix({*profile}, duration, seed, max_records,
+                                           writer.get());
+  }
+  if (!ok || !writer->Finish()) {
+    std::fprintf(stderr, "trace_tool: generation failed: %s\n", writer->error().c_str());
+    return 1;
+  }
+  std::printf("wrote %" PRIu64 " records (%u streams, span %" PRIu64 " us) to %s\n",
+              writer->records_written(), writer->streams_seen(), writer->last_arrival_us(),
+              out);
+  return 0;
+}
+
+int RunImportCsv(int argc, char** argv) {
+  const char* in = FlagValue(argc, argv, "--in");
+  const char* out = FlagValue(argc, argv, "--out");
+  if (in == nullptr || out == nullptr) {
+    return Usage();
+  }
+  mitt::trace::CsvImportOptions options;
+  if (const char* v = FlagValue(argc, argv, "--rate-scale")) {
+    options.rate_scale = std::atof(v);
+  }
+  options.rebase_time = !HasFlag(argc, argv, "--no-rebase");
+  if (const char* v = FlagValue(argc, argv, "--remap-span-bytes")) {
+    options.remap_span_bytes = std::strtoll(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--max-records")) {
+    options.max_records = std::strtoull(v, nullptr, 10);
+  }
+
+  mitt::trace::ImportStats stats;
+  std::string error;
+  if (!mitt::trace::ImportBlockCsvFile(in, out, options, &stats, &error)) {
+    std::fprintf(stderr, "trace_tool: import failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("imported %" PRIu64 "/%" PRIu64 " lines (%" PRIu64 " malformed skipped, %" PRIu64
+              " arrivals clamped)\n",
+              stats.imported, stats.lines, stats.skipped_malformed, stats.clamped_unsorted);
+  std::printf("  reads %" PRIu64 "  writes %" PRIu64 "  streams %u  span %" PRIu64 " us\n",
+              stats.reads, stats.writes, stats.streams, stats.span_us);
+  return 0;
+}
+
+int RunInfo(int argc, char** argv) {
+  if (argc < 1) {
+    return Usage();
+  }
+  const char* path = argv[argc - 1];
+  std::string error;
+  auto cursor = mitt::trace::FileTraceCursor::Open(path, &error);
+  if (cursor == nullptr) {
+    std::fprintf(stderr, "trace_tool: %s\n", error.c_str());
+    return 1;
+  }
+  const auto& header = cursor->header();
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t first_us = 0;
+  uint64_t last_us = 0;
+  mitt::trace::TraceEvent event;
+  bool first = true;
+  while (cursor->Next(&event)) {
+    event.op == mitt::trace::kOpWrite ? ++writes : ++reads;
+    last_us = mitt::trace::ArrivalUs(event.at);
+    if (first) {
+      first_us = last_us;
+      first = false;
+    }
+  }
+  std::printf("%s\n", path);
+  std::printf("  version %u  records %" PRIu64 "  blocks %" PRIu64 " x %u\n", header.version,
+              header.record_count, header.num_blocks, header.block_records);
+  std::printf("  streams %u  span_bytes %" PRId64 "\n", header.num_streams, header.span_bytes);
+  std::printf("  reads %" PRIu64 "  writes %" PRIu64 "  arrivals [%" PRIu64 ", %" PRIu64
+              "] us\n",
+              reads, writes, first_us, last_us);
+  return 0;
+}
+
+// The fixed recipe behind tests/data/sample_mix.mitttrace: five-profile mix,
+// 1200 records, seed 7, 256-record blocks (so the tiny sample still has
+// multiple blocks to exercise block/index paths). Changing any constant
+// invalidates the checked-in file — regenerate and update the tests.
+int RunSample(int argc, char** argv) {
+  const char* out = FlagValue(argc, argv, "--out");
+  if (out == nullptr) {
+    return Usage();
+  }
+  mitt::trace::TraceWriter::Options options;
+  options.block_records = 256;
+  std::string error;
+  auto writer = mitt::trace::TraceWriter::Open(out, options, &error);
+  if (writer == nullptr) {
+    std::fprintf(stderr, "trace_tool: %s\n", error.c_str());
+    return 1;
+  }
+  if (!mitt::workload::WriteSyntheticMix(PaperTraceProfiles(), mitt::Seconds(2), 7, 1200,
+                                         writer.get()) ||
+      !writer->Finish()) {
+    std::fprintf(stderr, "trace_tool: sample generation failed: %s\n",
+                 writer->error().c_str());
+    return 1;
+  }
+  std::printf("wrote sample: %" PRIu64 " records, %u streams -> %s\n",
+              writer->records_written(), writer->streams_seen(), out);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "gen") {
+    return RunGen(argc - 2, argv + 2);
+  }
+  if (command == "import-csv") {
+    return RunImportCsv(argc - 2, argv + 2);
+  }
+  if (command == "info") {
+    return RunInfo(argc - 2, argv + 2);
+  }
+  if (command == "sample") {
+    return RunSample(argc - 2, argv + 2);
+  }
+  return Usage();
+}

@@ -1,0 +1,192 @@
+#include "src/trace/writer.h"
+
+namespace mitt::trace {
+namespace {
+
+// Serializes the 64-byte header into `buf` (checksum over the first 56).
+void EncodeHeader(const TraceHeader& header, unsigned char buf[kHeaderBytes]) {
+  StoreLe64(buf + 0, kTraceMagic);
+  StoreLe32(buf + 8, header.version);
+  StoreLe32(buf + 12, static_cast<uint32_t>(kHeaderBytes));
+  StoreLe32(buf + 16, header.block_records);
+  StoreLe32(buf + 20, header.num_streams);
+  StoreLe64(buf + 24, header.record_count);
+  StoreLe64(buf + 32, static_cast<uint64_t>(header.span_bytes));
+  StoreLe64(buf + 40, header.num_blocks);
+  StoreLe64(buf + 48, 0);  // Reserved.
+  StoreLe64(buf + 56, Fnv1a(buf, 56));
+}
+
+}  // namespace
+
+std::unique_ptr<TraceWriter> TraceWriter::Open(const std::string& path, const Options& options,
+                                               std::string* error) {
+  if (options.block_records == 0) {
+    if (error != nullptr) {
+      *error = "block_records must be > 0";
+    }
+    return nullptr;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb+");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open for writing: " + path;
+    }
+    return nullptr;
+  }
+  return std::unique_ptr<TraceWriter>(new TraceWriter(file, options));
+}
+
+TraceWriter::TraceWriter(std::FILE* file, const Options& options)
+    : file_(file), options_(options) {
+  header_.block_records = options.block_records;
+  header_.span_bytes = options.span_bytes;
+  const size_t cap = options.block_records;
+  arrival_us_.reserve(cap);
+  offset_.reserve(cap);
+  len_.reserve(cap);
+  op_.reserve(cap);
+  stream_.reserve(cap);
+  encode_buf_.resize(cap * kRecordBytes);
+  // Placeholder header; Finish() rewrites it with the real counts. If the
+  // process dies mid-write the zero checksum guarantees Open() rejects the
+  // torn file.
+  unsigned char zeros[kHeaderBytes] = {};
+  if (std::fwrite(zeros, 1, kHeaderBytes, file_) != kHeaderBytes) {
+    Fail("short write (header placeholder)");
+  }
+}
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool TraceWriter::Fail(const std::string& message) {
+  if (error_.empty()) {
+    error_ = message;
+  }
+  return false;
+}
+
+bool TraceWriter::Append(const TraceEvent& event) {
+  if (!error_.empty() || finished_) {
+    return false;
+  }
+  const uint64_t us = ArrivalUs(event.at);
+  if (event.at < 0) {
+    return Fail("negative arrival time");
+  }
+  if (any_record_ && us < last_arrival_us_) {
+    return Fail("arrivals must be non-decreasing (format invariant)");
+  }
+  arrival_us_.push_back(us);
+  offset_.push_back(event.offset);
+  len_.push_back(event.len);
+  op_.push_back(event.op);
+  stream_.push_back(event.stream);
+  last_arrival_us_ = us;
+  any_record_ = true;
+  if (event.offset + static_cast<int64_t>(event.len) > max_extent_) {
+    max_extent_ = event.offset + static_cast<int64_t>(event.len);
+  }
+  if (event.stream > max_stream_) {
+    max_stream_ = event.stream;
+  }
+  ++header_.record_count;
+  if (arrival_us_.size() == options_.block_records) {
+    return FlushBlock();
+  }
+  return true;
+}
+
+bool TraceWriter::FlushBlock() {
+  const size_t n = arrival_us_.size();
+  if (n == 0) {
+    return true;
+  }
+  unsigned char* p = encode_buf_.data();
+  for (size_t i = 0; i < n; ++i, p += 8) {
+    StoreLe64(p, arrival_us_[i]);
+  }
+  for (size_t i = 0; i < n; ++i, p += 8) {
+    StoreLe64(p, static_cast<uint64_t>(offset_[i]));
+  }
+  for (size_t i = 0; i < n; ++i, p += 4) {
+    StoreLe32(p, len_[i]);
+  }
+  for (size_t i = 0; i < n; ++i, ++p) {
+    *p = op_[i];
+  }
+  for (size_t i = 0; i < n; ++i, p += 4) {
+    StoreLe32(p, stream_[i]);
+  }
+  const size_t bytes = n * kRecordBytes;
+  if (std::fwrite(encode_buf_.data(), 1, bytes, file_) != bytes) {
+    return Fail("short write (block)");
+  }
+  index_.push_back({arrival_us_.front(), arrival_us_.back()});
+  ++header_.num_blocks;
+  arrival_us_.clear();
+  offset_.clear();
+  len_.clear();
+  op_.clear();
+  stream_.clear();
+  return true;
+}
+
+bool TraceWriter::Finish() {
+  if (finished_) {
+    return error_.empty();
+  }
+  if (!error_.empty()) {
+    return false;
+  }
+  if (!FlushBlock()) {
+    return false;
+  }
+  finished_ = true;
+  if (header_.span_bytes == 0) {
+    header_.span_bytes = max_extent_;
+  }
+  header_.num_streams = any_record_ ? max_stream_ + 1 : 0;
+
+  // Index.
+  std::vector<unsigned char> index_bytes(index_.size() * kIndexEntryBytes);
+  for (size_t b = 0; b < index_.size(); ++b) {
+    StoreLe64(index_bytes.data() + b * kIndexEntryBytes, index_[b].first_arrival_us);
+    StoreLe64(index_bytes.data() + b * kIndexEntryBytes + 8, index_[b].last_arrival_us);
+  }
+  if (!index_bytes.empty() &&
+      std::fwrite(index_bytes.data(), 1, index_bytes.size(), file_) != index_bytes.size()) {
+    return Fail("short write (index)");
+  }
+
+  // Footer.
+  unsigned char footer[kFooterBytes];
+  StoreLe64(footer + 0, Fnv1a(index_bytes.data(), index_bytes.size()));
+  StoreLe64(footer + 8, header_.record_count);
+  StoreLe64(footer + 16, header_.num_blocks);
+  StoreLe64(footer + 24, kFooterMagic);
+  if (std::fwrite(footer, 1, kFooterBytes, file_) != kFooterBytes) {
+    return Fail("short write (footer)");
+  }
+
+  // Header, in place.
+  unsigned char header_bytes[kHeaderBytes];
+  EncodeHeader(header_, header_bytes);
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header_bytes, 1, kHeaderBytes, file_) != kHeaderBytes) {
+    return Fail("header rewrite failed");
+  }
+  if (std::fflush(file_) != 0) {
+    return Fail("flush failed");
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  return true;
+}
+
+}  // namespace mitt::trace

@@ -1,0 +1,85 @@
+// Streaming writer for the mitt::trace columnar format (see format.h).
+//
+// Append() buffers one block's worth of records in column scratch arrays and
+// writes a packed block whenever the scratch fills, so writing a
+// 100M-record trace holds one block (~100 KB) plus the growing 16 B/block
+// index in memory. Finish() appends the index and footer, then rewrites the
+// header in place with the final counts — the output file is invalid until
+// Finish() succeeds, and validation (TraceCursor::Open) will say so.
+
+#ifndef MITTOS_TRACE_WRITER_H_
+#define MITTOS_TRACE_WRITER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/format.h"
+
+namespace mitt::trace {
+
+class TraceWriter {
+ public:
+  struct Options {
+    uint32_t block_records = kDefaultBlockRecords;
+    // Recorded in the header for importers that remapped the address space;
+    // 0 = derive from the largest offset+len seen.
+    int64_t span_bytes = 0;
+  };
+
+  // Creates/truncates `path`. Returns nullptr and sets *error on failure.
+  static std::unique_ptr<TraceWriter> Open(const std::string& path, const Options& options,
+                                           std::string* error);
+
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  // Appends one record. Arrivals must be non-decreasing after quantization
+  // to microseconds (the format invariant); violations and IO errors return
+  // false and latch error(). Sub-microsecond precision is truncated.
+  bool Append(const TraceEvent& event);
+
+  // Flushes the last partial block, writes index + footer, rewrites the
+  // header, and closes the file. Idempotent; returns false on IO error (or
+  // if a previous Append failed).
+  bool Finish();
+
+  uint64_t records_written() const { return header_.record_count; }
+  uint64_t last_arrival_us() const { return last_arrival_us_; }
+  uint32_t streams_seen() const { return header_.num_streams; }
+  const std::string& error() const { return error_; }
+
+ private:
+  TraceWriter(std::FILE* file, const Options& options);
+
+  bool FlushBlock();
+  bool Fail(const std::string& message);
+
+  std::FILE* file_ = nullptr;
+  TraceHeader header_;
+  Options options_;
+  std::string error_;
+  bool finished_ = false;
+
+  uint64_t last_arrival_us_ = 0;
+  int64_t max_extent_ = 0;     // Largest offset+len appended.
+  uint32_t max_stream_ = 0;
+  bool any_record_ = false;
+
+  // Current block, struct-of-arrays; flushed through encode_buf_.
+  std::vector<uint64_t> arrival_us_;
+  std::vector<int64_t> offset_;
+  std::vector<uint32_t> len_;
+  std::vector<uint8_t> op_;
+  std::vector<uint32_t> stream_;
+  std::vector<unsigned char> encode_buf_;
+
+  std::vector<BlockIndexEntry> index_;
+};
+
+}  // namespace mitt::trace
+
+#endif  // MITTOS_TRACE_WRITER_H_

@@ -55,60 +55,129 @@ const std::vector<TraceProfile>& PaperTraceProfiles() {
   return *profiles;
 }
 
-std::vector<TraceRecord> GenerateTrace(const TraceProfile& profile, DurationNs duration,
-                                       uint64_t seed) {
-  Rng rng(seed ^ (profile.name.empty() ? 0 : static_cast<uint64_t>(profile.name[0]) * 131));
-  ZipfianGenerator region_zipf(static_cast<uint64_t>(profile.hot_regions), 0.9);
+SyntheticTraceCursor::SyntheticTraceCursor(const TraceProfile& profile, DurationNs duration,
+                                           uint64_t seed, uint32_t stream)
+    : profile_(profile),
+      duration_(duration),
+      mixed_seed_(seed ^ (profile.name.empty()
+                              ? 0
+                              : static_cast<uint64_t>(profile.name[0]) * 131)),
+      stream_(stream),
+      region_size_(profile.span_bytes / profile.hot_regions),
+      mean_iat_(static_cast<double>(profile.mean_interarrival)),
+      rng_(mixed_seed_),
+      region_zipf_(static_cast<uint64_t>(profile.hot_regions), 0.9) {}
 
-  std::vector<TraceRecord> out;
-  const int64_t region_size = profile.span_bytes / profile.hot_regions;
+void SyntheticTraceCursor::Reset() {
+  rng_ = Rng(mixed_seed_);
+  t_ = 0;
+  last_end_ = 0;
+  in_burst_ = false;
+  phase_end_ = 0;
+  done_ = false;
+}
 
-  TimeNs t = 0;
-  int64_t last_end = 0;
-  bool in_burst = false;
-  TimeNs phase_end = 0;
-  const double mean_iat = static_cast<double>(profile.mean_interarrival);
+// One iteration of the historical GenerateTrace loop. The RNG call order is
+// the contract: phase draw(s), interarrival, read/write, size, locality —
+// any reordering changes every seeded trace in the repo.
+bool SyntheticTraceCursor::Next(trace::TraceEvent* out) {
+  if (done_ || t_ >= duration_) {
+    done_ = true;
+    return false;
+  }
 
-  while (t < duration) {
-    // ON/OFF burst phases with exponential phase lengths.
-    if (t >= phase_end) {
-      in_burst = rng.NextDouble() < profile.burst_time_fraction;
-      const double mean_phase =
-          in_burst ? static_cast<double>(Millis(300)) : static_cast<double>(Millis(900));
-      phase_end = t + static_cast<DurationNs>(rng.Exponential(mean_phase));
-    }
-    const double rate_scale = in_burst ? 1.0 / profile.burst_speedup : 1.0;
-    t += static_cast<DurationNs>(rng.Exponential(mean_iat * rate_scale)) + 1;
-    if (t >= duration) {
+  // ON/OFF burst phases with exponential phase lengths.
+  if (t_ >= phase_end_) {
+    in_burst_ = rng_.NextDouble() < profile_.burst_time_fraction;
+    const double mean_phase =
+        in_burst_ ? static_cast<double>(Millis(300)) : static_cast<double>(Millis(900));
+    phase_end_ = t_ + static_cast<DurationNs>(rng_.Exponential(mean_phase));
+  }
+  const double rate_scale = in_burst_ ? 1.0 / profile_.burst_speedup : 1.0;
+  t_ += static_cast<DurationNs>(rng_.Exponential(mean_iat_ * rate_scale)) + 1;
+  if (t_ >= duration_) {
+    done_ = true;
+    return false;
+  }
+
+  out->at = t_;
+  out->stream = stream_;
+  out->op = rng_.NextDouble() < profile_.read_ratio ? trace::kOpRead : trace::kOpWrite;
+
+  // Size mix.
+  double pick = rng_.NextDouble();
+  int64_t size = profile_.size_mix.back().first;
+  for (const auto& [candidate, weight] : profile_.size_mix) {
+    if (pick < weight) {
+      size = candidate;
       break;
     }
+    pick -= weight;
+  }
+  out->len = static_cast<uint32_t>(size);
 
-    TraceRecord rec;
-    rec.at = t;
-    rec.is_read = rng.NextDouble() < profile.read_ratio;
+  // Spatial locality: continue sequentially or jump to a hot region.
+  if (rng_.NextDouble() < profile_.sequential_prob) {
+    out->offset = last_end_;
+  } else {
+    const auto region = static_cast<int64_t>(region_zipf_.Next(rng_));
+    out->offset = region * region_size_ + rng_.UniformInt(0, region_size_ - size - 1);
+  }
+  last_end_ = out->offset + size;
+  return true;
+}
 
-    // Size mix.
-    double pick = rng.NextDouble();
-    rec.size = profile.size_mix.back().first;
-    for (const auto& [size, weight] : profile.size_mix) {
-      if (pick < weight) {
-        rec.size = size;
-        break;
-      }
-      pick -= weight;
-    }
-
-    // Spatial locality: continue sequentially or jump to a hot region.
-    if (rng.NextDouble() < profile.sequential_prob) {
-      rec.offset = last_end;
-    } else {
-      const auto region = static_cast<int64_t>(region_zipf.Next(rng));
-      rec.offset = region * region_size + rng.UniformInt(0, region_size - rec.size - 1);
-    }
-    last_end = rec.offset + rec.size;
-    out.push_back(rec);
+std::vector<TraceRecord> GenerateTrace(const TraceProfile& profile, DurationNs duration,
+                                       uint64_t seed) {
+  SyntheticTraceCursor cursor(profile, duration, seed);
+  std::vector<TraceRecord> out;
+  trace::TraceEvent event;
+  while (cursor.Next(&event)) {
+    out.push_back({.at = event.at,
+                   .offset = event.offset,
+                   .size = static_cast<int64_t>(event.len),
+                   .is_read = event.op == trace::kOpRead});
   }
   return out;
+}
+
+bool WriteSyntheticMix(const std::vector<TraceProfile>& profiles, DurationNs duration,
+                       uint64_t seed, uint64_t max_records, trace::TraceWriter* writer) {
+  // K-way merge over one cursor per profile. K is small (five paper traces),
+  // so a linear min-scan beats a heap and keeps tie-breaking obvious:
+  // earliest arrival wins, lowest stream index on ties.
+  std::vector<SyntheticTraceCursor> cursors;
+  cursors.reserve(profiles.size());
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    cursors.emplace_back(profiles[i], duration, seed + 0x9E3779B97F4A7C15ULL * i,
+                         static_cast<uint32_t>(i));
+  }
+  std::vector<trace::TraceEvent> heads(cursors.size());
+  std::vector<bool> live(cursors.size(), false);
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    live[i] = cursors[i].Next(&heads[i]);
+  }
+
+  uint64_t written = 0;
+  for (;;) {
+    size_t best = cursors.size();
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      if (live[i] && (best == cursors.size() || heads[i].at < heads[best].at)) {
+        best = i;
+      }
+    }
+    if (best == cursors.size()) {
+      break;
+    }
+    if (!writer->Append(heads[best])) {
+      return false;
+    }
+    if (max_records > 0 && ++written >= max_records) {
+      break;
+    }
+    live[best] = cursors[best].Next(&heads[best]);
+  }
+  return true;
 }
 
 }  // namespace mitt::workload

@@ -9,6 +9,13 @@
 // Parameters follow the qualitative shape reported for each server class
 // (e.g. Exchange is write-heavy and bursty; TPC-C is small-random-IO with
 // high concurrency; the dev-tools release server is read-mostly).
+//
+// The generator is exposed as a trace::TraceCursor (SyntheticTraceCursor),
+// so synthetic and imported on-disk traces replay through one code path —
+// the accuracy benches, TraceReplayDriver, and bench_replay all consume
+// cursors and never care which kind. GenerateTrace() remains as a
+// drain-the-cursor convenience and yields the exact record sequence it
+// always has.
 
 #ifndef MITTOS_WORKLOAD_SYNTHETIC_TRACE_H_
 #define MITTOS_WORKLOAD_SYNTHETIC_TRACE_H_
@@ -20,6 +27,8 @@
 
 #include "src/common/rng.h"
 #include "src/common/time.h"
+#include "src/trace/cursor.h"
+#include "src/trace/writer.h"
 
 namespace mitt::workload {
 
@@ -49,9 +58,44 @@ struct TraceProfile {
 // The five paper traces ("the busiest 5 minutes" of each).
 const std::vector<TraceProfile>& PaperTraceProfiles();
 
+// Streams a profile's deterministic record sequence one event at a time, in
+// constant memory — the on-demand form of GenerateTrace. Every yielded event
+// carries `stream` as its stream id. Reset() replays the identical sequence.
+class SyntheticTraceCursor : public trace::TraceCursor {
+ public:
+  SyntheticTraceCursor(const TraceProfile& profile, DurationNs duration, uint64_t seed,
+                       uint32_t stream = 0);
+
+  bool Next(trace::TraceEvent* out) override;
+  void Reset() override;
+
+ private:
+  const TraceProfile profile_;
+  const DurationNs duration_;
+  const uint64_t mixed_seed_;
+  const uint32_t stream_;
+  const int64_t region_size_;
+  const double mean_iat_;
+
+  Rng rng_;
+  ZipfianGenerator region_zipf_;
+  TimeNs t_ = 0;
+  int64_t last_end_ = 0;
+  bool in_burst_ = false;
+  TimeNs phase_end_ = 0;
+  bool done_ = false;
+};
+
 // Generates a deterministic trace of `duration` from the profile.
 std::vector<TraceRecord> GenerateTrace(const TraceProfile& profile, DurationNs duration,
                                        uint64_t seed);
+
+// Merges one cursor per profile (stream id = profile index, per-stream seed
+// derived from `seed`) into an on-disk trace, k-way by arrival time with
+// stream index breaking ties. Stops after `max_records` if nonzero. The
+// caller still owns writer->Finish(). Returns false on writer failure.
+bool WriteSyntheticMix(const std::vector<TraceProfile>& profiles, DurationNs duration,
+                       uint64_t seed, uint64_t max_records, trace::TraceWriter* writer);
 
 }  // namespace mitt::workload
 

@@ -25,9 +25,11 @@
 #if MITT_ALLOC_HOOKS
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -37,6 +39,9 @@
 #include "src/os/page_cache.h"
 #include "src/sim/sharded_engine.h"
 #include "src/sim/simulator.h"
+#include "src/trace/cursor.h"
+#include "src/trace/replay.h"
+#include "src/trace/writer.h"
 
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 
@@ -216,6 +221,49 @@ TEST(SteadyStateAllocTest, CrossShardMailboxIsAllocationFree) {
   engine.RunUntilPredicate([&bounces, target] { return bounces >= target; });
   EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
   EXPECT_GE(engine.cross_shard_messages(), kWarmup + 20'000);
+}
+
+TEST(SteadyStateAllocTest, TraceReplayHotLoopIsAllocationFree) {
+  // Steady-state replay = cursor advance (block decode into reused scratch)
+  // + one self-rescheduling ScheduleAt (captures only `this`, inside
+  // InlineFunction's SBO) + the dispatch call. After the first block is
+  // decoded and the sim's event pool has grown, every further arrival —
+  // including block boundaries — must allocate nothing.
+  const std::string path = "alloc_test_replay.mitttrace";
+  {
+    std::string error;
+    auto writer = trace::TraceWriter::Open(path, {}, &error);
+    ASSERT_NE(writer, nullptr) << error;
+    trace::TraceEvent event;
+    for (uint64_t i = 0; i < 60'000; ++i) {
+      event.at = static_cast<TimeNs>(i) * Micros(2);
+      event.offset = static_cast<int64_t>((i * 29) % 4096) * 4096;
+      event.stream = static_cast<uint32_t>(i % 5);
+      event.op = (i % 7 == 0) ? trace::kOpWrite : trace::kOpRead;
+      ASSERT_TRUE(writer->Append(event));
+    }
+    ASSERT_TRUE(writer->Finish()) << writer->error();
+  }
+
+  sim::Simulator sim;
+  std::string error;
+  auto cursor = trace::FileTraceCursor::Open(path, &error);
+  ASSERT_NE(cursor, nullptr) << error;
+  uint64_t dispatched = 0;
+  trace::TraceReplayDriver driver(&sim, cursor.get(), {},
+                                  [&dispatched](const trace::TraceEvent&, uint64_t, bool) {
+                                    ++dispatched;
+                                  });
+  driver.Start();
+
+  // Warm past several block boundaries (4096-record blocks).
+  sim.RunUntilPredicate([&dispatched] { return dispatched >= 10'000; });
+
+  const uint64_t target = dispatched + 40'000;
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  sim.RunUntilPredicate([&dispatched, target] { return dispatched >= target; });
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
+  std::remove(path.c_str());
 }
 
 TEST(SteadyStateAllocTest, PageCacheHotOpsAreAllocationFree) {

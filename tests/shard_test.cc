@@ -92,6 +92,7 @@ TEST(ShardedEngineTest, CriticalPathAccountingIsConsistent) {
     opt.lookahead = Micros(100);
     opt.workers = workers;
     sim::ShardedEngine engine(opt);
+    std::vector<std::shared_ptr<std::function<void(int)>>> chains;
     for (int s = 0; s < 8; ++s) {
       // Uneven load: shard s runs s+1 chains of 50 self-rescheduling events.
       for (int c = 0; c <= s; ++c) {
@@ -103,9 +104,13 @@ TEST(ShardedEngineTest, CriticalPathAccountingIsConsistent) {
           }
         };
         sim->ScheduleAt(Micros(1) * (c + 1), [chain] { (*chain)(49); });
+        chains.push_back(std::move(chain));
       }
     }
     engine.Run();
+    for (auto& chain : chains) {
+      *chain = nullptr;  // Break the self-reference cycle (LSan flags it).
+    }
     EXPECT_EQ(engine.critical_path_events(1), engine.executed_events());
     EXPECT_GE(engine.critical_path_events(1), engine.critical_path_events(2));
     EXPECT_GE(engine.critical_path_events(2), engine.critical_path_events(4));
