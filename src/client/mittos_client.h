@@ -23,6 +23,9 @@ class MittosStrategy : public GetStrategy {
 
   std::string_view name() const override { return options_.name; }
   void Get(uint64_t key, GetDoneFn done) override;
+  // Tenant-aware: routes via the placement map, sends the tenant's class SLO
+  // (ctx.deadline) as the wire deadline.
+  void Get(uint64_t key, const GetContext& ctx, GetDoneFn done) override;
 
   uint64_t ebusy_failovers() const { return ebusy_failovers_; }
   // Last-try sends with the deadline disabled (kNoDeadline) — the unbounded
@@ -30,7 +33,7 @@ class MittosStrategy : public GetStrategy {
   uint64_t unbounded_tries() const { return unbounded_tries_; }
 
  private:
-  void Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done,
+  void Attempt(uint64_t key, GetContext ctx, int try_index, std::shared_ptr<GetDoneFn> done,
                obs::TraceContext trace);
 
   Options options_;
@@ -54,6 +57,7 @@ class MittosWaitStrategy : public GetStrategy {
 
   std::string_view name() const override { return "MittOS+wait"; }
   void Get(uint64_t key, GetDoneFn done) override;
+  void Get(uint64_t key, const GetContext& ctx, GetDoneFn done) override;
 
   uint64_t ebusy_failovers() const { return ebusy_failovers_; }
   uint64_t informed_last_tries() const { return informed_last_tries_; }

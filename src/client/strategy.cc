@@ -8,15 +8,16 @@ GetStrategy::GetStrategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_
     : sim_(sim), cluster_(cluster), rng_(seed) {}
 
 void GetStrategy::SendGet(int node, uint64_t key, DurationNs deadline,
-                          std::function<void(Status)> on_reply, obs::TraceContext trace) {
+                          std::function<void(Status)> on_reply, obs::TraceContext trace,
+                          tenant::TenantId tenant) {
   SendGetWithHint(
       node, key, deadline,
-      [on_reply = std::move(on_reply)](Status s, DurationNs) { on_reply(s); }, trace);
+      [on_reply = std::move(on_reply)](Status s, DurationNs) { on_reply(s); }, trace, tenant);
 }
 
 void GetStrategy::SendGetWithHint(int node, uint64_t key, DurationNs deadline,
                                   std::function<void(Status, DurationNs)> on_reply,
-                                  obs::TraceContext trace) {
+                                  obs::TraceContext trace, tenant::TenantId tenant) {
   // Underflow guard at the send boundary: a caller whose remaining-deadline
   // arithmetic went negative must read as "no time left" (0), never alias
   // into kNoDeadline (-1) and disable the SLO.
@@ -29,7 +30,7 @@ void GetStrategy::SendGetWithHint(int node, uint64_t key, DurationNs deadline,
   // home shard so the continuation fires on the simulator that issued it.
   const int home = sim_->shard_id();
   net.Deliver(node, net.ShardOfNode(node),
-              [cluster, node, home, key, deadline, trace,
+              [cluster, node, home, key, deadline, trace, tenant,
                on_reply = std::move(on_reply)]() mutable {
                 cluster->node(node).HandleGetWithHint(
                     key, deadline,
@@ -41,7 +42,7 @@ void GetStrategy::SendGetWithHint(int node, uint64_t key, DurationNs deadline,
                             on_reply(status, hint);
                           });
                     },
-                    trace);
+                    trace, tenant);
               });
 }
 
@@ -67,6 +68,23 @@ void GetStrategy::SendDegradedGet(int node, uint64_t key, DurationNs deadline,
                     },
                     trace);
               });
+}
+
+tenant::ReplicaGroup GetStrategy::RouteReplicas(uint64_t key, tenant::TenantId tenant) const {
+  if (placement_ != nullptr && tenant != tenant::kNoTenant &&
+      tenant < placement_->num_tenants()) {
+    return placement_->group(tenant);
+  }
+  tenant::ReplicaGroup g;
+  const std::vector<int> ring = cluster_->ReplicasOf(key);
+  const size_t n = ring.size() < static_cast<size_t>(tenant::ReplicaGroup::kMaxReplication)
+                       ? ring.size()
+                       : static_cast<size_t>(tenant::ReplicaGroup::kMaxReplication);
+  g.size = static_cast<int>(n);
+  for (size_t i = 0; i < n; ++i) {
+    g.node[i] = ring[i];
+  }
+  return g;
 }
 
 obs::TraceContext GetStrategy::BeginTrace() {

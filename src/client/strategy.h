@@ -18,6 +18,8 @@
 #include "src/common/status.h"
 #include "src/obs/trace.h"
 #include "src/sim/simulator.h"
+#include "src/tenant/placement.h"
+#include "src/tenant/tenant.h"
 
 namespace mitt::client {
 
@@ -31,6 +33,16 @@ struct GetResult {
 
 using GetDoneFn = std::function<void(const GetResult&)>;
 
+// Per-request context for tenant-aware gets (src/tenant/): which tenant the
+// request belongs to (routes via the attached placement map and is accounted
+// per tenant on the server) and an optional per-request SLO deadline
+// override (0 = the strategy's configured deadline) carrying the tenant's
+// class SLO.
+struct GetContext {
+  tenant::TenantId tenant = tenant::kNoTenant;
+  DurationNs deadline = 0;
+};
+
 class GetStrategy {
  public:
   GetStrategy(sim::Simulator* sim, cluster::Cluster* cluster, uint64_t seed);
@@ -41,17 +53,31 @@ class GetStrategy {
   // Issues one replicated get for `key`; calls `done` exactly once.
   virtual void Get(uint64_t key, GetDoneFn done) = 0;
 
+  // Tenant-aware issue. Strategies that understand placement routing and
+  // per-class deadlines override this; the default drops the context and
+  // behaves like the single-tenant Get.
+  virtual void Get(uint64_t key, const GetContext& ctx, GetDoneFn done) {
+    (void)ctx;
+    Get(key, std::move(done));
+  }
+
+  // Attaches the tenant->replica placement map consulted by RouteReplicas.
+  // The map is owned by the harness; the placement controller mutates it
+  // only at quiesced barriers (see src/tenant/placement.h).
+  void set_placement(const tenant::PlacementMap* placement) { placement_ = placement; }
+
  protected:
   // One request/reply round trip to `node`. `trace` ties the server-side
-  // spans back to this client request (src/obs/; default: untraced).
+  // spans back to this client request (src/obs/; default: untraced);
+  // `tenant` rides along so the server's per-tenant accounting sees it.
   void SendGet(int node, uint64_t key, DurationNs deadline, std::function<void(Status)> on_reply,
-               obs::TraceContext trace = {});
+               obs::TraceContext trace = {}, tenant::TenantId tenant = tenant::kNoTenant);
 
   // Round trip whose EBUSY reply carries the server's predicted wait
   // (§7.8.1's interface extension).
   void SendGetWithHint(int node, uint64_t key, DurationNs deadline,
                        std::function<void(Status, DurationNs)> on_reply,
-                       obs::TraceContext trace = {});
+                       obs::TraceContext trace = {}, tenant::TenantId tenant = tenant::kNoTenant);
 
   // Round trip into the server's *degraded* read path (src/resilience/):
   // bounded admission behind a load-shed gate, bounded escalating deadlines.
@@ -70,9 +96,16 @@ class GetStrategy {
 
   std::vector<int> Replicas(uint64_t key) const { return cluster_->ReplicasOf(key); }
 
+  // Tenant-aware replica set: the tenant's placement group when a map is
+  // attached and the tenant is known (a dense-array copy, no allocation —
+  // the per-request lookup alloc_test gates), the key's ring replicas
+  // otherwise.
+  tenant::ReplicaGroup RouteReplicas(uint64_t key, tenant::TenantId tenant) const;
+
   sim::Simulator* sim_;
   cluster::Cluster* cluster_;
   Rng rng_;
+  const tenant::PlacementMap* placement_ = nullptr;
 };
 
 }  // namespace mitt::client

@@ -9,20 +9,26 @@ TimeoutStrategy::TimeoutStrategy(sim::Simulator* sim, cluster::Cluster* cluster,
     : GetStrategy(sim, cluster, seed), options_(options) {}
 
 void TimeoutStrategy::Get(uint64_t key, GetDoneFn done) {
-  Attempt(key, 0, std::make_shared<GetDoneFn>(std::move(done)), BeginTrace());
+  Attempt(key, GetContext{}, 0, std::make_shared<GetDoneFn>(std::move(done)), BeginTrace());
 }
 
-void TimeoutStrategy::Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done,
-                              obs::TraceContext trace) {
-  const auto replicas = Replicas(key);
-  const int node = replicas[static_cast<size_t>(try_index) % replicas.size()];
+void TimeoutStrategy::Get(uint64_t key, const GetContext& ctx, GetDoneFn done) {
+  Attempt(key, ctx, 0, std::make_shared<GetDoneFn>(std::move(done)), BeginTrace());
+}
+
+void TimeoutStrategy::Attempt(uint64_t key, GetContext ctx, int try_index,
+                              std::shared_ptr<GetDoneFn> done, obs::TraceContext trace) {
+  const tenant::ReplicaGroup replicas = RouteReplicas(key, ctx.tenant);
+  const int node =
+      replicas.node[static_cast<size_t>(try_index) % static_cast<size_t>(replicas.size)];
   const bool last_try = try_index + 1 >= options_.max_tries;
+  const DurationNs timeout = ctx.deadline > 0 ? ctx.deadline : options_.timeout;
 
   // One timer + one reply race; whichever fires first settles this attempt.
   auto settled = std::make_shared<bool>(false);
   sim::EventId timer = sim::kInvalidEventId;
-  if (!last_try && options_.timeout > 0) {
-    timer = sim_->Schedule(options_.timeout, [this, key, try_index, done, settled, trace] {
+  if (!last_try && timeout > 0) {
+    timer = sim_->Schedule(timeout, [this, key, ctx, try_index, done, settled, trace] {
       if (*settled) {
         return;
       }
@@ -35,7 +41,7 @@ void TimeoutStrategy::Attempt(uint64_t key, int try_index, std::shared_ptr<GetDo
         return;
       }
       RecordFailover(trace);
-      Attempt(key, try_index + 1, done, trace);
+      Attempt(key, ctx, try_index + 1, done, trace);
     });
   }
 
@@ -51,7 +57,7 @@ void TimeoutStrategy::Attempt(uint64_t key, int try_index, std::shared_ptr<GetDo
         }
         (*done)({status, try_index + 1});
       },
-      trace);
+      trace, ctx.tenant);
 }
 
 }  // namespace mitt::client

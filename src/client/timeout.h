@@ -32,11 +32,14 @@ class TimeoutStrategy : public GetStrategy {
 
   std::string_view name() const override { return options_.name; }
   void Get(uint64_t key, GetDoneFn done) override;
+  // Tenant-aware: routes via the placement map; ctx.deadline (the tenant's
+  // class SLO) replaces the configured timeout for this request.
+  void Get(uint64_t key, const GetContext& ctx, GetDoneFn done) override;
 
   uint64_t timeouts_fired() const { return timeouts_fired_; }
 
  private:
-  void Attempt(uint64_t key, int try_index, std::shared_ptr<GetDoneFn> done,
+  void Attempt(uint64_t key, GetContext ctx, int try_index, std::shared_ptr<GetDoneFn> done,
                obs::TraceContext trace);
 
   Options options_;

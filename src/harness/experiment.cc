@@ -17,7 +17,10 @@
 #include "src/common/table.h"
 #include "src/fault/injector.h"
 #include "src/noise/noise_injector.h"
+#include "src/sched/sched_obs.h"
 #include "src/sim/sharded_engine.h"
+#include "src/tenant/workload.h"
+#include "src/trace/recorder.h"
 #include "src/trace/replay.h"
 #include "src/workload/macro_workload.h"
 #include "src/workload/synthetic_trace.h"
@@ -33,6 +36,83 @@ DurationNs Resolve(DurationNs value, DurationNs fallback) {
 
 // Decorrelates per-shard seed streams (strategy instances, id namespaces).
 constexpr uint64_t kShardSeedStride = 0x9E37'79B9'7F4A'7C15ULL;
+
+// Per-SLO-class accumulation for tenant-enabled runs; one vector per shard,
+// merged in shard order at harvest (the determinism contract).
+struct ClassAgg {
+  uint64_t requests = 0;
+  uint64_t deadline_miss = 0;
+  uint64_t failovers = 0;
+  uint64_t errors = 0;
+  LatencyRecorder latencies;
+};
+
+void RecordTenantCompletion(const tenant::TenantDirectory& directory,
+                            std::vector<ClassAgg>& aggs, tenant::TenantId t,
+                            DurationNs latency, const client::GetResult& r) {
+  ClassAgg& agg = aggs[directory.class_of(t)];
+  ++agg.requests;
+  agg.latencies.Record(latency);
+  if (latency > directory.slo_of(t)) {
+    ++agg.deadline_miss;
+  }
+  agg.failovers += static_cast<uint64_t>(r.tries - 1);
+  if (!r.status.ok() && !r.status.busy()) {
+    ++agg.errors;
+  }
+}
+
+// The controller's view of one node: the scheduler's O(1) predictor
+// aggregates (wait sums / dispatches / rejects maintained by sched::SchedObs)
+// plus the node's get/EBUSY totals and per-tenant arrival counters. Reads
+// cross-shard state, so it must only run while the world is quiesced — the
+// controller guarantees that (ticks are ScheduleGlobal events).
+tenant::PlacementController::ProbeFn MakeNodeProbe(cluster::Cluster* cluster) {
+  return [cluster](int node) {
+    tenant::NodeProbe p;
+    kv::DocStoreNode& n = cluster->node(node);
+    if (const sched::SchedObs* o = n.os().scheduler().observer()) {
+      p.wait_sum_ns = o->wait_sum_ns();
+      p.dispatches = o->dispatches();
+      p.rejects = o->rejects();
+    }
+    p.gets = n.gets_served();
+    p.ebusy = n.ebusy_returned();
+    p.tenant_gets = n.tenant_gets_data();
+    p.tenant_count = n.tenant_slots();
+    return p;
+  };
+}
+
+// Folds the (already shard-order-merged) class aggregates and controller
+// counters into the result.
+void HarvestTenants(const tenant::TenantDirectory& directory, std::vector<ClassAgg>& aggs,
+                    tenant::PlacementController* controller, RunResult* out) {
+  std::vector<uint32_t> members(directory.num_classes(), 0);
+  for (tenant::TenantId t = 0; t < directory.num_tenants(); ++t) {
+    ++members[directory.class_of(t)];
+  }
+  for (uint32_t c = 0; c < directory.num_classes(); ++c) {
+    TenantClassStats stats;
+    stats.name = directory.cls(c).name;
+    stats.slo = directory.cls(c).slo;
+    stats.tenants = members[c];
+    ClassAgg& agg = aggs[c];
+    stats.requests = agg.requests;
+    stats.deadline_miss = agg.deadline_miss;
+    stats.failovers = agg.failovers;
+    stats.errors = agg.errors;
+    stats.latencies = std::move(agg.latencies);
+    out->tenant_requests += stats.requests;
+    out->tenant_classes.push_back(std::move(stats));
+  }
+  if (controller != nullptr) {
+    out->tenant_migrations = controller->migrations();
+    out->controller_ticks = controller->ticks();
+    out->controller_hot_ticks = controller->hot_ticks();
+    out->breaker_opens = controller->health().breaker_opens();
+  }
+}
 
 }  // namespace
 
@@ -301,6 +381,11 @@ cluster::Cluster::Options Experiment::BuildClusterOptions(StrategyKind kind) con
   copt.node.os.mitt_cfq = options_.mitt_cfq;
   copt.node.os.mitt_ssd = options_.mitt_ssd;
   copt.node.os.seed = options_.seed;
+  if (options_.tenants.enabled) {
+    // Per-tenant get/EBUSY counters on every node (the controller's probe
+    // input); sized to the directory BuildMix will produce.
+    copt.node.tenant_slots = options_.tenants.mix.num_tenants;
+  }
   return copt;
 }
 
@@ -465,9 +550,39 @@ RunResult Experiment::Run(StrategyKind kind) {
   const uint64_t keyspace = static_cast<uint64_t>(options_.num_keys_per_node) *
                             static_cast<uint64_t>(options_.num_nodes);
 
+  // --- Tenant world (src/tenant/): directory, placement, controller ---
+  tenant::TenantDirectory directory;
+  std::unique_ptr<tenant::PlacementMap> placement;
+  std::unique_ptr<tenant::PlacementController> controller;
+  std::vector<ClassAgg> class_aggs;
+  if (options_.tenants.enabled) {
+    tenant::MixOptions mix = options_.tenants.mix;
+    mix.keyspace = keyspace;
+    if (mix.classes.empty()) {
+      mix.classes = tenant::TenantDirectory::DefaultClasses();
+    }
+    directory = tenant::TenantDirectory::BuildMix(mix);
+    placement = std::make_unique<tenant::PlacementMap>(tenant::PlacementMap::Uniform(
+        directory.num_tenants(), options_.num_nodes, std::min(3, options_.num_nodes),
+        options_.seed ^ 0x9A7C));
+    strategy->set_placement(placement.get());
+    class_aggs.resize(directory.num_classes());
+    if (options_.tenants.slo_aware) {
+      controller = std::make_unique<tenant::PlacementController>(
+          &sim, /*engine=*/nullptr, &directory, placement.get(), options_.num_nodes,
+          MakeNodeProbe(&cluster), options_.tenants.controller);
+      controller->Start();
+    }
+  }
+
+  trace::TraceRecorder recorder;
+  const bool recording = !options_.record_trace_path.empty();
+
   if (options_.replay.enabled()) {
     // Open-loop trace replay: the driver fires one Get per trace arrival at
-    // its scaled arrival time; nothing waits for completions.
+    // its scaled arrival time; nothing waits for completions. With the
+    // tenant world enabled, trace streams overlay onto tenants
+    // (stream % num_tenants) and each get carries its class SLO.
     auto cursor = MakeReplayCursor();
     trace::TraceReplayDriver::Options ropt;
     ropt.rate_scale = options_.replay.rate_scale;
@@ -478,11 +593,25 @@ RunResult Experiment::Run(StrategyKind kind) {
         &sim, cursor.get(), ropt,
         [&](const trace::TraceEvent& event, uint64_t /*global_index*/, bool measured) {
           const TimeNs start = sim.Now();
-          strategy->Get(ReplayKeyFor(event.offset, event.stream, keyspace),
-                        [&, start, measured](const client::GetResult& get_result) {
+          if (recording) {
+            recorder.Record(start, event.offset, event.len, event.op, event.stream);
+          }
+          client::GetContext ctx;
+          if (options_.tenants.enabled) {
+            ctx.tenant = event.stream % directory.num_tenants();
+            ctx.deadline = directory.slo_of(ctx.tenant);
+          }
+          const tenant::TenantId t = ctx.tenant;
+          strategy->Get(ReplayKeyFor(event.offset, event.stream, keyspace), ctx,
+                        [&, t, start, measured](const client::GetResult& get_result) {
+                          const DurationNs latency = sim.Now() - start;
                           if (measured) {
-                            result.get_latencies.Record(sim.Now() - start);
-                            result.user_latencies.Record(sim.Now() - start);
+                            result.get_latencies.Record(latency);
+                            result.user_latencies.Record(latency);
+                            if (t != tenant::kNoTenant) {
+                              RecordTenantCompletion(directory, class_aggs, t, latency,
+                                                     get_result);
+                            }
                           }
                           if (!get_result.status.ok() && !get_result.status.busy()) {
                             ++result.user_errors;
@@ -497,6 +626,38 @@ RunResult Experiment::Run(StrategyKind kind) {
     result.replay_events = driver.dispatched();
     result.replay_trace_reads = driver.reads_dispatched();
     result.replay_trace_writes = driver.writes_dispatched();
+  } else if (options_.tenants.enabled) {
+    // Open-loop tenant mix: arrivals at the directory's combined rate, each
+    // routed by the placement map and carrying its class SLO as deadline.
+    tenant::TenantLoadDriver::Options dopt;
+    dopt.warmup = options_.tenants.warmup;
+    dopt.duration = options_.tenants.duration;
+    dopt.seed = options_.seed ^ 0x7E4A;
+    uint64_t completed = 0;
+    tenant::TenantLoadDriver driver(
+        &sim, &directory, dopt, [&](tenant::TenantId t, uint64_t key, bool measured) {
+          const TimeNs start = sim.Now();
+          if (recording) {
+            recorder.Record(start, static_cast<int64_t>(key) << 12, 4096, trace::kOpRead, t);
+          }
+          strategy->Get(key, client::GetContext{t, directory.slo_of(t)},
+                        [&, t, start, measured](const client::GetResult& get_result) {
+                          const DurationNs latency = sim.Now() - start;
+                          if (measured) {
+                            result.get_latencies.Record(latency);
+                            result.user_latencies.Record(latency);
+                            RecordTenantCompletion(directory, class_aggs, t, latency,
+                                                   get_result);
+                          }
+                          if (!get_result.status.ok() && !get_result.status.busy()) {
+                            ++result.user_errors;
+                          }
+                          ++completed;
+                        });
+        });
+    driver.Start();
+    sim.RunUntilPredicate([&] { return driver.done() && completed >= driver.dispatched(); });
+    result.requests = completed;
   } else {
     const size_t target = options_.warmup_requests + options_.measure_requests;
     size_t issued = 0;
@@ -542,6 +703,10 @@ RunResult Experiment::Run(StrategyKind kind) {
       for (int s = 0; s < options_.scale_factor; ++s) {
         const uint64_t key = next_key(cl);
         const TimeNs get_start = sim.Now();
+        if (recording) {
+          recorder.Record(get_start, static_cast<int64_t>(key) << 12, 4096, trace::kOpRead,
+                          static_cast<uint32_t>(client_idx));
+        }
         strategy->Get(key, [&, issue, client_idx, start, get_start, measured, remaining](
                                const client::GetResult& get_result) {
           if (measured) {
@@ -574,6 +739,16 @@ RunResult Experiment::Run(StrategyKind kind) {
     result.requests = completed;
   }
 
+  if (options_.tenants.enabled) {
+    HarvestTenants(directory, class_aggs, controller.get(), &result);
+  }
+  if (recording) {
+    std::string error;
+    if (!recorder.WriteTo(options_.record_trace_path, &error)) {
+      throw std::runtime_error("record trace: " + error);
+    }
+    result.recorded_events = recorder.records();
+  }
   for (const auto& injector : io_noise) {
     result.noise_ios += injector->ios_issued();
   }
@@ -655,6 +830,8 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
     LatencyRecorder user_latencies;
     uint64_t user_errors = 0;
     size_t completed = 0;
+    std::vector<ClassAgg> class_aggs;  // Tenant runs: per-class, this shard.
+    trace::TraceRecorder recorder;     // record_trace_path: this shard's arrivals.
   };
   std::vector<ShardCtx> shard_ctx(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
@@ -664,6 +841,36 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
 
   const uint64_t keyspace = static_cast<uint64_t>(options_.num_keys_per_node) *
                             static_cast<uint64_t>(options_.num_nodes);
+
+  // --- Tenant world: one directory + placement map shared by all shards.
+  // Shard threads read the map only inside windows; the controller writes it
+  // only from quiesced ScheduleGlobal ticks (see src/tenant/placement.h).
+  tenant::TenantDirectory directory;
+  std::unique_ptr<tenant::PlacementMap> placement;
+  std::unique_ptr<tenant::PlacementController> controller;
+  if (options_.tenants.enabled) {
+    tenant::MixOptions mix = options_.tenants.mix;
+    mix.keyspace = keyspace;
+    if (mix.classes.empty()) {
+      mix.classes = tenant::TenantDirectory::DefaultClasses();
+    }
+    directory = tenant::TenantDirectory::BuildMix(mix);
+    placement = std::make_unique<tenant::PlacementMap>(tenant::PlacementMap::Uniform(
+        directory.num_tenants(), options_.num_nodes, std::min(3, options_.num_nodes),
+        options_.seed ^ 0x9A7C));
+    for (ShardCtx& ctx : shard_ctx) {
+      ctx.strategy->set_placement(placement.get());
+      ctx.class_aggs.resize(directory.num_classes());
+    }
+    if (options_.tenants.slo_aware) {
+      controller = std::make_unique<tenant::PlacementController>(
+          engine.shard(0), &engine, &directory, placement.get(), options_.num_nodes,
+          MakeNodeProbe(&cluster), options_.tenants.controller);
+      controller->Start();
+    }
+  }
+
+  const bool recording = !options_.record_trace_path.empty();
 
   if (options_.replay.enabled()) {
     // Open-loop replay, pre-partitioned per shard in trace order: every
@@ -688,16 +895,32 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
       sim::Simulator* sim = engine.shard(s);
       ShardCtx* ctx = &shard_ctx[static_cast<size_t>(s)];
       client::GetStrategy* strategy = ctx->strategy.get();
+      const bool tenants_on = options_.tenants.enabled;
       drivers.push_back(std::make_unique<trace::TraceReplayDriver>(
           sim, cursors.back().get(), ropt,
-          [sim, ctx, strategy, keyspace](const trace::TraceEvent& event,
-                                         uint64_t /*global_index*/, bool measured) {
+          [sim, ctx, strategy, keyspace, recording, tenants_on, &directory](
+              const trace::TraceEvent& event, uint64_t /*global_index*/, bool measured) {
             const TimeNs start = sim->Now();
-            strategy->Get(ReplayKeyFor(event.offset, event.stream, keyspace),
-                          [sim, ctx, start, measured](const client::GetResult& get_result) {
+            if (recording) {
+              ctx->recorder.Record(start, event.offset, event.len, event.op, event.stream);
+            }
+            client::GetContext gctx;
+            if (tenants_on) {
+              gctx.tenant = event.stream % directory.num_tenants();
+              gctx.deadline = directory.slo_of(gctx.tenant);
+            }
+            const tenant::TenantId t = gctx.tenant;
+            strategy->Get(ReplayKeyFor(event.offset, event.stream, keyspace), gctx,
+                          [sim, ctx, t, start, measured,
+                           &directory](const client::GetResult& get_result) {
+                            const DurationNs latency = sim->Now() - start;
                             if (measured) {
-                              ctx->get_latencies.Record(sim->Now() - start);
-                              ctx->user_latencies.Record(sim->Now() - start);
+                              ctx->get_latencies.Record(latency);
+                              ctx->user_latencies.Record(latency);
+                              if (t != tenant::kNoTenant) {
+                                RecordTenantCompletion(directory, ctx->class_aggs, t,
+                                                       latency, get_result);
+                              }
                             }
                             if (!get_result.status.ok() && !get_result.status.busy()) {
                               ++ctx->user_errors;
@@ -727,6 +950,61 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
       result.replay_trace_reads += driver->reads_dispatched();
       result.replay_trace_writes += driver->writes_dispatched();
     }
+  } else if (options_.tenants.enabled) {
+    // Open-loop tenant mix, one driver per shard owning the deterministic
+    // partition `tenant % num_shards == s` — the same contract as replay, so
+    // scorecards stay bit-identical across MITT_INTRA_WORKERS.
+    std::vector<std::unique_ptr<tenant::TenantLoadDriver>> drivers;
+    drivers.reserve(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      tenant::TenantLoadDriver::Options dopt;
+      dopt.warmup = options_.tenants.warmup;
+      dopt.duration = options_.tenants.duration;
+      dopt.shard = s;
+      dopt.num_shards = num_shards;
+      dopt.seed = options_.seed ^ 0x7E4A;
+      sim::Simulator* sim = engine.shard(s);
+      ShardCtx* ctx = &shard_ctx[static_cast<size_t>(s)];
+      client::GetStrategy* strategy = ctx->strategy.get();
+      drivers.push_back(std::make_unique<tenant::TenantLoadDriver>(
+          sim, &directory, dopt,
+          [sim, ctx, strategy, recording, &directory](tenant::TenantId t, uint64_t key,
+                                                      bool measured) {
+            const TimeNs start = sim->Now();
+            if (recording) {
+              ctx->recorder.Record(start, static_cast<int64_t>(key) << 12, 4096,
+                                   trace::kOpRead, t);
+            }
+            strategy->Get(key, client::GetContext{t, directory.slo_of(t)},
+                          [sim, ctx, t, start, measured,
+                           &directory](const client::GetResult& get_result) {
+                            const DurationNs latency = sim->Now() - start;
+                            if (measured) {
+                              ctx->get_latencies.Record(latency);
+                              ctx->user_latencies.Record(latency);
+                              RecordTenantCompletion(directory, ctx->class_aggs, t, latency,
+                                                     get_result);
+                            }
+                            if (!get_result.status.ok() && !get_result.status.busy()) {
+                              ++ctx->user_errors;
+                            }
+                            ++ctx->completed;
+                          });
+          }));
+      drivers.back()->Start();
+    }
+
+    engine.RunUntilPredicate([&] {
+      uint64_t dispatched = 0;
+      uint64_t completed = 0;
+      bool all_done = true;
+      for (int s = 0; s < num_shards; ++s) {
+        all_done = all_done && drivers[static_cast<size_t>(s)]->done();
+        dispatched += drivers[static_cast<size_t>(s)]->dispatched();
+        completed += shard_ctx[static_cast<size_t>(s)].completed;
+      }
+      return all_done && completed >= dispatched;
+    });
   } else {
     const size_t target = options_.warmup_requests + options_.measure_requests;
     const size_t num_clients = static_cast<size_t>(options_.num_clients);
@@ -786,6 +1064,10 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
       for (int s = 0; s < options_.scale_factor; ++s) {
         const uint64_t key = next_key(cl);
         const TimeNs get_start = sim->Now();
+        if (recording) {
+          ctx.recorder.Record(get_start, static_cast<int64_t>(key) << 12, 4096,
+                              trace::kOpRead, static_cast<uint32_t>(client_idx));
+        }
         ctx.strategy->Get(key, [&, issue, client_idx, start, get_start, measured, remaining](
                                    const client::GetResult& get_result) {
           ShardCtx& cb_ctx = shard_ctx[static_cast<size_t>((*clients)[client_idx].shard)];
@@ -833,6 +1115,32 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
     result.get_latencies.MergeFrom(ctx.get_latencies);
     result.user_latencies.MergeFrom(ctx.user_latencies);
     CollectCounters(kind, *ctx.strategy, &result);
+  }
+  if (options_.tenants.enabled) {
+    std::vector<ClassAgg> merged(directory.num_classes());
+    for (ShardCtx& ctx : shard_ctx) {
+      for (uint32_t c = 0; c < directory.num_classes(); ++c) {
+        ClassAgg& m = merged[c];
+        ClassAgg& a = ctx.class_aggs[c];
+        m.requests += a.requests;
+        m.deadline_miss += a.deadline_miss;
+        m.failovers += a.failovers;
+        m.errors += a.errors;
+        m.latencies.MergeFrom(a.latencies);
+      }
+    }
+    HarvestTenants(directory, merged, controller.get(), &result);
+  }
+  if (recording) {
+    trace::TraceRecorder merged;
+    for (const ShardCtx& ctx : shard_ctx) {
+      merged.MergeFrom(ctx.recorder);
+    }
+    std::string error;
+    if (!merged.WriteTo(options_.record_trace_path, &error)) {
+      throw std::runtime_error("record trace: " + error);
+    }
+    result.recorded_events = merged.records();
   }
   for (const auto& injector : io_noise) {
     result.noise_ios += injector->ios_issued();

@@ -31,6 +31,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/os/os.h"
+#include "src/tenant/controller.h"
 #include "src/trace/cursor.h"
 #include "src/workload/ycsb.h"
 
@@ -156,6 +157,37 @@ struct ExperimentOptions {
   };
   ReplayConfig replay;
 
+  // --- Multi-tenant SLO classes (src/tenant/) ---
+  // When enabled, the world gets a TenantDirectory (mix.num_tenants tenants
+  // over gold/silver/bronze-style SLO classes), a tenant->replica
+  // PlacementMap attached to every strategy, and per-tenant accounting on
+  // every node. The workload becomes open-loop TenantLoadDrivers (one per
+  // shard, partition `tenant % num_shards`) unless replay is also enabled —
+  // then the trace drives arrivals and streams overlay onto tenants via
+  // `stream % num_tenants`. Each get carries the tenant's class SLO as its
+  // deadline; completions are harvested per class into
+  // RunResult::tenant_classes.
+  struct TenantConfig {
+    bool enabled = false;
+    // mix.keyspace is overridden with the experiment keyspace.
+    tenant::MixOptions mix;
+    // Run the PlacementController: probe per-node predictor aggregates +
+    // breaker state each period and migrate tenants off hot nodes. Off =
+    // naive uniform placement for the whole run (the bench baseline).
+    bool slo_aware = false;
+    tenant::PlacementControllerOptions controller;
+    DurationNs warmup = Millis(300);   // Arrivals before this are unmeasured.
+    DurationNs duration = Seconds(2);  // Measured arrival window.
+  };
+  TenantConfig tenants;
+
+  // When set, every live arrival (replay, tenant, or closed-loop YCSB) is
+  // captured and written back out as a v1 columnar trace at this path when
+  // the run completes — `trace_tool record`'s underlying hook. Sharded runs
+  // merge per-shard recorders in shard order and sort by arrival time, so
+  // the file is bit-identical at any worker count.
+  std::string record_trace_path;
+
   // Resilience knobs for StrategyKind::kMittosResilient (deadline comes from
   // `deadline` above; the name/deadline fields here are overridden).
   client::ResilientOptions resilience;
@@ -178,6 +210,22 @@ struct ExperimentOptions {
 
 // The shard count Run() will actually use (auto resolution above).
 int ResolveShards(const ExperimentOptions& options);
+
+// Per-SLO-class harvest of a tenant-enabled run: one entry per class in
+// directory order. deadline_miss counts measured completions slower than the
+// class SLO (the per-class tail the placement controller defends);
+// failovers counts extra server contacts (EBUSY rejects / timeouts that
+// moved the get to another replica).
+struct TenantClassStats {
+  std::string name;
+  DurationNs slo = 0;
+  uint32_t tenants = 0;  // Tenants belonging to this class.
+  uint64_t requests = 0;
+  uint64_t deadline_miss = 0;
+  uint64_t failovers = 0;
+  uint64_t errors = 0;
+  LatencyRecorder latencies;
+};
 
 struct RunResult {
   std::string name;
@@ -219,6 +267,18 @@ struct RunResult {
   uint64_t replay_events = 0;
   uint64_t replay_trace_reads = 0;
   uint64_t replay_trace_writes = 0;
+
+  // Tenant harvest (src/tenant/): per-class stats merged in shard order,
+  // plus the placement controller's counters (0 when slo_aware is off).
+  std::vector<TenantClassStats> tenant_classes;
+  uint64_t tenant_requests = 0;  // Measured tenant completions, all classes.
+  uint64_t tenant_migrations = 0;
+  uint64_t controller_ticks = 0;
+  uint64_t controller_hot_ticks = 0;
+  uint64_t breaker_opens = 0;
+
+  // Trace recorder harvest (`record_trace_path`): arrivals written back out.
+  uint64_t recorded_events = 0;
 
   // Fault harvest (src/fault/): episodes fully applied during the run, in
   // clear order — the determinism check compares these across worker counts.

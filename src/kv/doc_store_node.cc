@@ -22,6 +22,10 @@ DocStoreNode::DocStoreNode(sim::Simulator* sim, int node_id, const Options& opti
     cpu_ = owned_cpu_.get();
   }
   data_file_ = os_->CreateFile(data_file_size());
+  if (options_.tenant_slots > 0) {
+    tenant_gets_.assign(options_.tenant_slots, 0);
+    tenant_ebusy_.assign(options_.tenant_slots, 0);
+  }
 }
 
 void DocStoreNode::WarmCache(double fraction) {
@@ -43,26 +47,35 @@ void DocStoreNode::CrashRestart(DurationNs downtime) {
 }
 
 void DocStoreNode::HandleGet(uint64_t key, DurationNs deadline,
-                             std::function<void(Status)> reply, obs::TraceContext trace) {
+                             std::function<void(Status)> reply, obs::TraceContext trace,
+                             uint32_t tenant) {
   HandleGetWithHint(
-      key, deadline, [reply = std::move(reply)](Status s, DurationNs) { reply(s); }, trace);
+      key, deadline, [reply = std::move(reply)](Status s, DurationNs) { reply(s); }, trace,
+      tenant);
 }
 
 void DocStoreNode::HandleGetWithHint(uint64_t key, DurationNs deadline, RichReplyFn reply,
-                                     obs::TraceContext trace) {
+                                     obs::TraceContext trace, uint32_t tenant) {
   ++gets_served_;
-  cpu_->Execute(options_.handler_cpu / 2, [this, key, deadline, trace, reply = std::move(reply)] {
-    DoRead(key, deadline, std::move(reply), trace);
-  });
+  if (tenant < tenant_gets_.size()) {
+    ++tenant_gets_[tenant];
+  }
+  cpu_->Execute(options_.handler_cpu / 2,
+                [this, key, deadline, trace, tenant, reply = std::move(reply)] {
+                  DoRead(key, deadline, std::move(reply), trace, tenant);
+                });
 }
 
 void DocStoreNode::DoRead(uint64_t key, DurationNs deadline, RichReplyFn reply,
-                          obs::TraceContext trace) {
+                          obs::TraceContext trace, uint32_t tenant) {
   const int64_t offset = OffsetOfKey(key);
 
-  auto finish = [this, reply = std::move(reply)](Status status, DurationNs hint) {
+  auto finish = [this, tenant, reply = std::move(reply)](Status status, DurationNs hint) {
     if (status.busy()) {
       ++ebusy_returned_;
+      if (tenant < tenant_ebusy_.size()) {
+        ++tenant_ebusy_[tenant];
+      }
     }
     // Reply serialization plus (optionally) the C++ exception unwind the
     // paper eliminated with the exceptionless retry path.

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "src/cluster/cpu_pool.h"
 #include "src/common/status.h"
@@ -56,7 +57,15 @@ class DocStoreNode {
     resilience::AdmissionGateOptions admission;
     int degraded_max_attempts = 10;
     DurationNs degraded_deadline_cap = Seconds(2);
+
+    // Per-tenant accounting (src/tenant/): >0 sizes dense gets/EBUSY counter
+    // arrays indexed by tenant id — two array increments on the get path,
+    // no allocation. 0 disables (single-tenant worlds pay nothing).
+    uint32_t tenant_slots = 0;
   };
+
+  // Requests without a tenant (single-tenant worlds, background traffic).
+  static constexpr uint32_t kNoTenant = 0xFFFFFFFFu;
 
   // `shared_cpu` (optional) makes several nodes contend for one physical
   // CPU pool — the §7.5 setup of six MongoDB processes on one 8-thread
@@ -69,15 +78,16 @@ class DocStoreNode {
 
   // Serves one get(). `deadline` of sched::kNoDeadline means no SLO (vanilla
   // request). Replies with kOk or kEbusy. `trace` identifies the originating
-  // client request for src/obs/ (default: untraced).
+  // client request for src/obs/ (default: untraced); `tenant` attributes the
+  // get to a tenant slot when accounting is enabled.
   void HandleGet(uint64_t key, DurationNs deadline, std::function<void(Status)> reply,
-                 obs::TraceContext trace = {});
+                 obs::TraceContext trace = {}, uint32_t tenant = kNoTenant);
 
   // §7.8.1 extension: EBUSY replies carry the OS' predicted wait so the
   // client can pick the least-busy replica when all replicas reject.
   using RichReplyFn = std::function<void(Status, DurationNs predicted_wait)>;
   void HandleGetWithHint(uint64_t key, DurationNs deadline, RichReplyFn reply,
-                         obs::TraceContext trace = {});
+                         obs::TraceContext trace = {}, uint32_t tenant = kNoTenant);
 
   // Degraded read (all replicas rejected): admission is bounded by the shed
   // gate — over capacity replies kUnavailable (+ wait hint) immediately.
@@ -116,6 +126,11 @@ class DocStoreNode {
   const Options& options() const { return options_; }
   uint64_t gets_served() const { return gets_served_; }
   uint64_t ebusy_returned() const { return ebusy_returned_; }
+  // Per-tenant cumulative counters (empty unless Options::tenant_slots > 0);
+  // probed by the placement controller, borrowed not copied.
+  const uint64_t* tenant_gets_data() const { return tenant_gets_.data(); }
+  const uint64_t* tenant_ebusy_data() const { return tenant_ebusy_.data(); }
+  uint32_t tenant_slots() const { return static_cast<uint32_t>(tenant_gets_.size()); }
   uint64_t degraded_admits() const { return degraded_gate_.admits(); }
   uint64_t degraded_sheds() const { return degraded_gate_.sheds(); }
   // Largest deadline the degraded path ever issued — the boundedness proof.
@@ -127,7 +142,8 @@ class DocStoreNode {
            options_.slot_size;
   }
 
-  void DoRead(uint64_t key, DurationNs deadline, RichReplyFn reply, obs::TraceContext trace);
+  void DoRead(uint64_t key, DurationNs deadline, RichReplyFn reply, obs::TraceContext trace,
+              uint32_t tenant);
   void DegradedAttempt(uint64_t key, DurationNs deadline, int attempt, RichReplyFn reply,
                        obs::TraceContext trace);
 
@@ -140,6 +156,8 @@ class DocStoreNode {
   uint64_t data_file_ = 0;
   uint64_t gets_served_ = 0;
   uint64_t ebusy_returned_ = 0;
+  std::vector<uint64_t> tenant_gets_;
+  std::vector<uint64_t> tenant_ebusy_;
   uint64_t crashes_ = 0;
   resilience::AdmissionGate degraded_gate_;
   DurationNs degraded_max_deadline_ = 0;

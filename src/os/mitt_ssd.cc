@@ -180,6 +180,7 @@ void SsdBlockLayer::Submit(sched::IoRequest* req) {
   }
   // No block-layer queue: the IO goes straight to the device, so queue_wait
   // is zero-length and device-internal queueing shows up as device_service.
+  // The wait-sum aggregate is settled at completion instead (OnDeviceSojourn).
   obs_.OnDispatch(*req);
   ssd_->Submit(req);
 }
@@ -188,6 +189,7 @@ void SsdBlockLayer::OnDeviceCompletion(sched::IoRequest* req) {
   if (predictor_ != nullptr) {
     predictor_->OnCompletion(req);
   }
+  obs_.OnDeviceSojourn(*req);
   obs_.OnServiceDone(*req);
   if (req->on_complete) {
     auto cb = std::move(req->on_complete);

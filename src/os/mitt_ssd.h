@@ -109,6 +109,7 @@ class SsdBlockLayer : public sched::IoScheduler {
 
   void Submit(sched::IoRequest* req) override;
   size_t PendingCount() const override { return 0; }
+  const sched::SchedObs* observer() const override { return &obs_; }
 
  private:
   void OnDeviceCompletion(sched::IoRequest* req);

@@ -49,6 +49,27 @@ void ReplicaHealthTracker::OnReply(int replica, DurationNs latency, bool ebusy) 
   MaybeOpen(replica);
 }
 
+void ReplicaHealthTracker::OnWindow(int replica, uint64_t replies, uint64_t ebusy,
+                                    DurationNs mean_latency) {
+  if (replies == 0) {
+    return;
+  }
+  ReplicaStats& s = stats_[Index(replica)];
+  const double a = options_.ewma_alpha;
+  const double ebusy_frac =
+      static_cast<double>(ebusy) / static_cast<double>(replies);
+  s.ebusy_ewma = (1.0 - a) * s.ebusy_ewma + a * ebusy_frac;
+  if (ebusy < replies && mean_latency > 0) {
+    const double sample = static_cast<double>(mean_latency);
+    s.latency_ewma = s.latency_ewma == 0.0 ? sample : (1.0 - a) * s.latency_ewma + a * sample;
+  }
+  // One window = one sample for min_samples purposes: the warmup guard is
+  // about EWMA convergence, and the window EWMA converges per window.
+  ++s.samples;
+  s.timeout_strikes = 0;
+  MaybeOpen(replica);
+}
+
 void ReplicaHealthTracker::OnTimeout(int replica) {
   ReplicaStats& s = stats_[Index(replica)];
   ++s.samples;

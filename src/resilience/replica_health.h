@@ -78,6 +78,12 @@ class ReplicaHealthTracker {
   // The client's attempt timer fired before any reply (drop storm, pause,
   // partition — the fault_active-era failures EBUSY cannot signal).
   void OnTimeout(int replica);
+  // Batch observation for control-loop consumers (src/tenant/'s placement
+  // controller): one call folds a whole control window's server-side
+  // aggregates — `replies` handled gets of which `ebusy` fast-rejected, with
+  // `mean_latency` over the successes — into the same EWMAs one window-sized
+  // sample at a time. No-op for an empty window.
+  void OnWindow(int replica, uint64_t replies, uint64_t ebusy, DurationNs mean_latency);
 
   // Effective breaker state at the current time (lazily advances open ->
   // half-open when the open window elapses).

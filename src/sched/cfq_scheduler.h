@@ -53,6 +53,7 @@ class CfqScheduler : public IoScheduler {
 
   void Submit(IoRequest* req) override;
   size_t PendingCount() const override { return pending_; }
+  const SchedObs* observer() const override { return &obs_; }
 
   // Test introspection.
   size_t ProcPendingCount(int32_t pid) const;

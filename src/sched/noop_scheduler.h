@@ -23,6 +23,7 @@ class NoopScheduler : public IoScheduler {
 
   void Submit(IoRequest* req) override;
   size_t PendingCount() const override { return dispatch_queue_.size(); }
+  const SchedObs* observer() const override { return &obs_; }
 
  private:
   void DispatchMore();

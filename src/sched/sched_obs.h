@@ -44,6 +44,9 @@ class SchedObs {
     if (!req.has_deadline()) {
       return;
     }
+    if (rejected) {
+      ++rejects_;
+    }
     if (obs::Tracer* tr = sim_->tracer(); tr != nullptr && tr->enabled()) {
       tr->RecordInstant(obs::SpanKind::kPredict, req.trace, req.submit_time);
     }
@@ -57,9 +60,20 @@ class SchedObs {
   // Recorded for untraced (noise/background) IOs too: they are the
   // contention a trace exists to show.
   void OnDispatch(const IoRequest& req) {
+    wait_sum_ns_ += static_cast<uint64_t>(sim_->Now() - req.submit_time);
+    ++dispatches_;
     if (obs::Tracer* tr = sim_->tracer(); tr != nullptr && tr->enabled()) {
       tr->RecordSpan(obs::SpanKind::kQueueWait, req.trace, req.submit_time, sim_->Now());
     }
+  }
+
+  // Queueless block layers (the SSD path dispatches straight into the
+  // device) call this at completion instead of relying on OnDispatch's
+  // submit->dispatch interval: the device-internal sojourn past submit is
+  // the wait this node imposed, so it is what the placement controller's
+  // pressure probe must see.
+  void OnDeviceSojourn(const IoRequest& req) {
+    wait_sum_ns_ += static_cast<uint64_t>(sim_->Now() - req.submit_time);
   }
 
   // The device finished the IO at Now(); dispatch_time was stamped by the
@@ -76,8 +90,20 @@ class SchedObs {
     }
   }
 
+  // Cumulative O(1) aggregates, maintained even with obs compiled out. The
+  // placement controller (src/tenant/) diffs these across control windows:
+  // wait_sum/dispatches is the mean queueing delay a replica imposed during
+  // the window — exactly the quantity the Mitt* predictors already estimate
+  // per-request, aggregated for free.
+  uint64_t wait_sum_ns() const { return wait_sum_ns_; }
+  uint64_t dispatches() const { return dispatches_; }
+  uint64_t rejects() const { return rejects_; }
+
  private:
   sim::Simulator* sim_;
+  uint64_t wait_sum_ns_ = 0;
+  uint64_t dispatches_ = 0;
+  uint64_t rejects_ = 0;
   bool resolved_ = false;
   obs::Counter* predictor_accept_ = nullptr;
   obs::Counter* predictor_reject_ = nullptr;

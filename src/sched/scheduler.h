@@ -13,6 +13,8 @@
 
 namespace mitt::sched {
 
+class SchedObs;
+
 class IoScheduler {
  public:
   virtual ~IoScheduler() = default;
@@ -24,6 +26,10 @@ class IoScheduler {
 
   // IOs inside scheduler queues, excluding those held by the device.
   virtual size_t PendingCount() const = 0;
+
+  // Read-only window into the scheduler's observability aggregates (wait
+  // sums, dispatch/reject counts). Null for schedulers without one.
+  virtual const SchedObs* observer() const { return nullptr; }
 };
 
 }  // namespace mitt::sched

@@ -1,0 +1,33 @@
+#include "src/tenant/placement.h"
+
+namespace mitt::tenant {
+
+namespace {
+// splitmix64 finalizer: cheap, well-mixed, and stable across platforms.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+PlacementMap PlacementMap::Uniform(uint32_t num_tenants, int num_nodes, int replication,
+                                   uint64_t seed) {
+  PlacementMap map(num_tenants, replication);
+  for (TenantId t = 0; t < num_tenants; ++t) {
+    ReplicaGroup g;
+    g.size = replication;
+    const int primary =
+        static_cast<int>(Mix(seed ^ (static_cast<uint64_t>(t) + 1)) %
+                         static_cast<uint64_t>(num_nodes));
+    for (int r = 0; r < replication; ++r) {
+      g.node[r] = (primary + r) % num_nodes;
+    }
+    map.Assign(t, g);
+  }
+  map.version_ = 0;  // Initial placement is epoch 0, not num_tenants moves.
+  return map;
+}
+
+}  // namespace mitt::tenant

@@ -1,0 +1,68 @@
+#include "src/tenant/tenant.h"
+
+#include <cmath>
+
+namespace mitt::tenant {
+
+std::vector<SloClass> TenantDirectory::DefaultClasses() {
+  return {
+      {"gold", Millis(15), 4.0, 0},
+      {"silver", Millis(40), 2.0, 1},
+      {"bronze", Millis(100), 1.0, 2},
+  };
+}
+
+TenantDirectory TenantDirectory::BuildMix(const MixOptions& options) {
+  TenantDirectory dir;
+  std::vector<SloClass> classes =
+      options.classes.empty() ? DefaultClasses() : options.classes;
+  std::vector<double> share = options.class_share;
+  if (share.size() != classes.size()) {
+    share.assign(classes.size(), 1.0);
+  }
+  double share_sum = 0;
+  for (double s : share) {
+    share_sum += s;
+  }
+  for (const SloClass& c : classes) {
+    dir.AddClass(c);
+  }
+
+  // Zipf-skewed rate over rank: weight(rank) = 1 / (rank+1)^theta, scaled by
+  // the tenant's class weight, normalized so the population sums to
+  // total_rate_hz. Rank == tenant id, so tenant 0 is the biggest whale.
+  Rng rng(options.seed);
+  const uint32_t n = options.num_tenants;
+  std::vector<uint32_t> cls_of(n);
+  std::vector<double> raw(n);
+  double raw_sum = 0;
+  for (uint32_t t = 0; t < n; ++t) {
+    // Class by share, from the directory's own seeded stream.
+    double draw = rng.NextDouble() * share_sum;
+    uint32_t c = 0;
+    while (c + 1 < share.size() && draw >= share[c]) {
+      draw -= share[c];
+      ++c;
+    }
+    cls_of[t] = c;
+    raw[t] = classes[c].weight /
+             std::pow(static_cast<double>(t + 1), options.rate_zipf_theta);
+    raw_sum += raw[t];
+  }
+
+  const uint64_t span =
+      options.keys_per_tenant > 0 ? options.keys_per_tenant : 1;
+  for (uint32_t t = 0; t < n; ++t) {
+    TenantSpec spec;
+    spec.cls = cls_of[t];
+    spec.rate_hz = options.total_rate_hz * raw[t] / raw_sum;
+    // Stripe key ranges over the keyspace; wraparound is fine (the store
+    // slots keys modulo num_keys anyway).
+    spec.key_base = (static_cast<uint64_t>(t) * span) % options.keyspace;
+    spec.key_span = span;
+    dir.AddTenant(spec);
+  }
+  return dir;
+}
+
+}  // namespace mitt::tenant

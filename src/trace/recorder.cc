@@ -1,0 +1,53 @@
+#include "src/trace/recorder.h"
+
+#include <algorithm>
+
+#include "src/trace/writer.h"
+
+namespace mitt::trace {
+
+bool TraceRecorder::WriteTo(const std::string& path, std::string* error) const {
+  std::vector<Rec> sorted = events_;
+  // Total order up to fully-identical records (which are interchangeable),
+  // so the written file does not depend on shard merge order.
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Rec& a, const Rec& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
+    }
+    if (a.stream != b.stream) {
+      return a.stream < b.stream;
+    }
+    if (a.offset != b.offset) {
+      return a.offset < b.offset;
+    }
+    return a.op < b.op;
+  });
+
+  auto writer = TraceWriter::Open(path, TraceWriter::Options{}, error);
+  if (writer == nullptr) {
+    return false;
+  }
+  for (const Rec& r : sorted) {
+    TraceEvent event;
+    event.at = r.at;
+    event.offset = r.offset;
+    event.len = r.len;
+    event.op = r.op;
+    event.stream = r.stream;
+    if (!writer->Append(event)) {
+      if (error != nullptr) {
+        *error = writer->error();
+      }
+      return false;
+    }
+  }
+  if (!writer->Finish()) {
+    if (error != nullptr) {
+      *error = writer->error();
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mitt::trace

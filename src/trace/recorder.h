@@ -1,0 +1,61 @@
+// TraceRecorder: captures live arrivals back into the v1 columnar format.
+//
+// The inverse of the replay driver: whatever drives a run (trace replay, the
+// tenant load drivers, the closed-loop YCSB clients), each arrival is
+// appended as one (at, offset, len, op, stream) record, and WriteTo() emits
+// a trace_tool-compatible file via TraceWriter — so a live run can be
+// re-replayed, diffed, or rate-scaled later (`trace_tool record`).
+//
+// Sharded runs own one recorder per shard (Record is not thread-safe; each
+// shard appends only its own arrivals during windows). At harvest the
+// harness merges them in shard order and WriteTo stable-sorts by
+// (arrival, stream, offset, op) before writing — the format requires
+// non-decreasing arrivals, and the sort makes the output file a pure
+// function of the recorded set, bit-identical at any worker count.
+
+#ifndef MITTOS_TRACE_RECORDER_H_
+#define MITTOS_TRACE_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/trace/format.h"
+
+namespace mitt::trace {
+
+class TraceRecorder {
+ public:
+  // Appends one arrival at simulated time `at` (ns; quantized to µs on
+  // write, per the format). Amortized O(1), no per-call allocation beyond
+  // vector growth.
+  void Record(TimeNs at, int64_t offset, uint32_t len, uint8_t op, uint32_t stream) {
+    events_.push_back(Rec{at, offset, len, stream, op});
+  }
+
+  // Appends another recorder's events (shard-order merge at harvest).
+  void MergeFrom(const TraceRecorder& other) {
+    events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  }
+
+  uint64_t records() const { return events_.size(); }
+
+  // Sorts and writes all recorded events as a v1 columnar trace. Returns
+  // false and sets *error on IO failure. Idempotent (keeps the events).
+  bool WriteTo(const std::string& path, std::string* error) const;
+
+ private:
+  struct Rec {
+    TimeNs at;
+    int64_t offset;
+    uint32_t len;
+    uint32_t stream;
+    uint8_t op;
+  };
+  std::vector<Rec> events_;
+};
+
+}  // namespace mitt::trace
+
+#endif  // MITTOS_TRACE_RECORDER_H_

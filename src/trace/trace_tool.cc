@@ -14,6 +14,13 @@
 //   trace_tool sample --out tests/data/sample_mix.mitttrace
 //       Regenerate the checked-in sample trace (fixed recipe; see
 //       tests/data/README.md).
+//
+//   trace_tool record --out live.mitttrace [--in t.mitttrace] [--tenants N]
+//                  [--nodes N] [--duration-ms N] [--seed N]
+//       Run a small live experiment and capture its arrivals back into the
+//       v1 format (the TraceRecorder round trip). With --in, the given trace
+//       drives the run (replay -> re-record); otherwise a multi-tenant
+//       open-loop mix does.
 
 #include <cinttypes>
 #include <cstdio>
@@ -21,6 +28,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/harness/experiment.h"
 #include "src/trace/cursor.h"
 #include "src/trace/import.h"
 #include "src/trace/writer.h"
@@ -39,7 +47,9 @@ int Usage() {
                "       trace_tool import-csv --in CSV --out PATH [--rate-scale X]\n"
                "                      [--no-rebase] [--remap-span-bytes N] [--max-records N]\n"
                "       trace_tool info PATH\n"
-               "       trace_tool sample --out PATH\n");
+               "       trace_tool sample --out PATH\n"
+               "       trace_tool record --out PATH [--in TRACE] [--tenants N] [--nodes N]\n"
+               "                      [--duration-ms N] [--seed N]\n");
   return 2;
 }
 
@@ -212,6 +222,56 @@ int RunSample(int argc, char** argv) {
   return 0;
 }
 
+// Live run -> recorded trace: a small cache-resident cluster driven either
+// by a replay of --in or by a multi-tenant open-loop mix, with
+// record_trace_path capturing every arrival. The output re-opens with the
+// standard cursor, so record|replay round trips compose.
+int RunRecord(int argc, char** argv) {
+  const char* out = FlagValue(argc, argv, "--out");
+  if (out == nullptr) {
+    return Usage();
+  }
+  const char* in = FlagValue(argc, argv, "--in");
+  const char* tenants_s = FlagValue(argc, argv, "--tenants");
+  const char* nodes_s = FlagValue(argc, argv, "--nodes");
+  const char* duration_ms_s = FlagValue(argc, argv, "--duration-ms");
+  const char* seed_s = FlagValue(argc, argv, "--seed");
+
+  mitt::harness::ExperimentOptions options;
+  options.num_nodes = nodes_s != nullptr ? std::atoi(nodes_s) : 8;
+  options.seed = seed_s != nullptr ? std::strtoull(seed_s, nullptr, 10) : 42;
+  options.backend = mitt::os::BackendKind::kSsd;
+  options.num_keys_per_node = 1 << 14;
+  options.warm_fraction = 1.0;
+  options.noise = mitt::harness::NoiseKind::kNone;
+  options.deadline = mitt::Millis(20);
+  options.record_trace_path = out;
+  if (in != nullptr) {
+    options.replay.trace_path = in;
+  } else {
+    options.tenants.enabled = true;
+    options.tenants.mix.num_tenants = tenants_s != nullptr
+                                          ? static_cast<uint32_t>(std::atoi(tenants_s))
+                                          : 256;
+    options.tenants.mix.total_rate_hz = 8000;
+    options.tenants.warmup = mitt::Millis(50);
+    options.tenants.duration =
+        mitt::Millis(duration_ms_s != nullptr ? std::atol(duration_ms_s) : 500);
+  }
+
+  mitt::harness::Experiment experiment(options);
+  mitt::harness::RunResult result;
+  try {
+    result = experiment.Run(mitt::harness::StrategyKind::kMittos);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_tool: record run failed: %s\n", e.what());
+    return 1;
+  }
+  std::printf("recorded %" PRIu64 " arrivals (%" PRIu64 " gets completed) -> %s\n",
+              result.recorded_events, result.requests, out);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -230,6 +290,9 @@ int main(int argc, char** argv) {
   }
   if (command == "sample") {
     return RunSample(argc - 2, argv + 2);
+  }
+  if (command == "record") {
+    return RunRecord(argc - 2, argv + 2);
   }
   return Usage();
 }

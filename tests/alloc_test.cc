@@ -39,6 +39,9 @@
 #include "src/os/page_cache.h"
 #include "src/sim/sharded_engine.h"
 #include "src/sim/simulator.h"
+#include "src/tenant/placement.h"
+#include "src/tenant/tenant.h"
+#include "src/tenant/workload.h"
 #include "src/trace/cursor.h"
 #include "src/trace/replay.h"
 #include "src/trace/writer.h"
@@ -264,6 +267,50 @@ TEST(SteadyStateAllocTest, TraceReplayHotLoopIsAllocationFree) {
   sim.RunUntilPredicate([&dispatched, target] { return dispatched >= target; });
   EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
   std::remove(path.c_str());
+}
+
+TEST(SteadyStateAllocTest, TenantLookupAndDriverHotLoopIsAllocationFree) {
+  // The per-request tenant path: one weighted draw + ScheduleAt in the
+  // open-loop driver, then the directory lookups (class/SLO/priority) and
+  // the placement-group read every routed get performs, plus the per-tenant
+  // counter bump the node does. After the driver's prefix-sum table and the
+  // sim's event pool are warm, none of it may allocate.
+  tenant::MixOptions mix;
+  mix.num_tenants = 256;
+  mix.total_rate_hz = 400'000;  // Dense arrivals: ~40k in the steady window.
+  const tenant::TenantDirectory directory = tenant::TenantDirectory::BuildMix(mix);
+  const tenant::PlacementMap placement = tenant::PlacementMap::Uniform(256, 8, 3, 9);
+  std::vector<uint64_t> tenant_gets(directory.num_tenants(), 0);
+
+  sim::Simulator sim;
+  uint64_t dispatched = 0;
+  DurationNs slo_sum = 0;
+  int64_t node_sum = 0;
+  tenant::TenantLoadDriver::Options dopt;
+  dopt.warmup = Millis(1);
+  dopt.duration = Seconds(2);
+  dopt.seed = 3;
+  tenant::TenantLoadDriver driver(
+      &sim, &directory, dopt,
+      [&](tenant::TenantId t, uint64_t key, bool) {
+        slo_sum += directory.slo_of(t) + directory.priority_of(t);
+        const tenant::ReplicaGroup g = placement.group(t);
+        for (int r = 0; r < g.size; ++r) {
+          node_sum += g.node[r];
+        }
+        ++tenant_gets[t];
+        dispatched += (key != ~0ULL) ? 1 : 0;
+      });
+  driver.Start();
+
+  sim.RunUntilPredicate([&dispatched] { return dispatched >= 10'000; });
+
+  const uint64_t target = dispatched + 40'000;
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  sim.RunUntilPredicate([&dispatched, target] { return dispatched >= target; });
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
+  EXPECT_GT(slo_sum, 0);
+  EXPECT_GT(node_sum, 0);
 }
 
 TEST(SteadyStateAllocTest, PageCacheHotOpsAreAllocationFree) {

