@@ -781,6 +781,8 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
   eopt.num_shards = num_shards;
   eopt.lookahead = cluster::MinOneWayHop(copt.network);
   eopt.workers = options_.intra_workers;
+  eopt.rebalance_period = options_.engine_rebalance;
+  eopt.fusion = options_.engine_fusion;
   sim::ShardedEngine engine(eopt);
 
   for (int s = 0; s < num_shards; ++s) {
@@ -1149,10 +1151,22 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
   result.sim_events = engine.executed_events();
   result.num_shards = num_shards;
   result.engine_windows = engine.windows_run();
+  result.engine_fused_windows = engine.fused_windows();
   result.cross_shard_messages = engine.cross_shard_messages();
+  result.events_per_window_p50 = engine.events_per_window_percentile(50);
+  result.events_per_window_p99 = engine.events_per_window_percentile(99);
   for (const int w : {1, 2, 4, 8, 16, 32}) {
     if (const uint64_t cp = engine.critical_path_events(w); cp != 0) {
       result.critical_path.emplace_back(w, cp);
+    }
+    if (const uint64_t cp = engine.critical_path_events_static(w); cp != 0) {
+      result.critical_path_static.emplace_back(w, cp);
+    }
+    if (const double r = engine.imbalance_ratio(w); r != 0) {
+      result.imbalance.emplace_back(w, r);
+    }
+    if (const double r = engine.imbalance_ratio_static(w); r != 0) {
+      result.imbalance_static.emplace_back(w, r);
     }
   }
   if (faults != nullptr) {

@@ -199,7 +199,8 @@ TEST(SteadyStateAllocTest, CrossShardMailboxIsAllocationFree) {
   sim::ShardedEngine::Options eopt;
   eopt.num_shards = 2;
   eopt.lookahead = Micros(50);
-  eopt.workers = 2;  // Exercise the pool barrier, not just the inline path.
+  eopt.workers = 2;          // Exercise the pool barrier, not just the inline path.
+  eopt.rebalance_period = 4;  // Aggressive cadence: LPT repacks are steady-state too.
   sim::ShardedEngine engine(eopt);
 
   uint64_t bounces = 0;
@@ -224,6 +225,49 @@ TEST(SteadyStateAllocTest, CrossShardMailboxIsAllocationFree) {
   engine.RunUntilPredicate([&bounces, target] { return bounces >= target; });
   EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
   EXPECT_GE(engine.cross_shard_messages(), kWarmup + 20'000);
+}
+
+TEST(SteadyStateAllocTest, FusionFastPathIsAllocationFree) {
+  MITT_SKIP_UNDER_PREDICT_CHECK();
+  // Quiet-frontier regime: one shard self-chains with gaps below the
+  // lookahead, so it is the lone shard under the window horizon and the
+  // engine's fused fast path carries the run — with a cross-shard hop every
+  // 64 links so the drain fallback, the pool barrier, and the adaptive
+  // repack all stay in the steady-state loop. Every path must allocate
+  // nothing once warm.
+  sim::ShardedEngine::Options eopt;
+  eopt.num_shards = 4;
+  eopt.lookahead = Micros(100);
+  eopt.workers = 2;
+  eopt.rebalance_period = 8;
+  eopt.fusion = 1;
+  sim::ShardedEngine engine(eopt);
+
+  uint64_t links = 0;
+  std::function<void(int)> link = [&](int shard) {
+    ++links;
+    auto* sim = engine.shard(shard);
+    if (links % 64 == 0) {
+      const int dst = (shard + 1) % 4;
+      engine.Post(dst, sim->Now() + Micros(120), [&link, dst] { link(dst); });
+    } else {
+      sim->ScheduleAt(sim->Now() + Micros(20), [&link, shard] { link(shard); });
+    }
+  };
+  engine.shard(1)->ScheduleAt(Micros(5), [&link] { link(1); });
+
+  const uint64_t kWarmup = 20'000;
+  engine.RunUntilPredicate([&links] { return links >= kWarmup; });
+
+  const uint64_t target = links + 20'000;
+  const uint64_t fused_before = engine.fused_windows();
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  engine.RunUntilPredicate([&links, target] { return links >= target; });
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
+  // ~5 links land in each 100µs window, so 20k links span ~4k windows —
+  // nearly all of them fused (the only fallbacks are the hop windows).
+  EXPECT_GT(engine.fused_windows() - fused_before, 2'000u)
+      << "the measured phase must actually run through the fast path";
 }
 
 TEST(SteadyStateAllocTest, TraceReplayHotLoopIsAllocationFree) {

@@ -150,6 +150,102 @@ TEST(ShardedEngineTest, WorkerCountDoesNotChangeWindowCount) {
   EXPECT_EQ(run(8), base);  // Caps at num_shards.
 }
 
+TEST(ShardedEngineTest, FusionFastPathPreservesScheduleByteForByte) {
+  // A world built to live in the quiet-frontier regime: shard 2 self-chains
+  // with gaps smaller than the lookahead (so it is the lone shard below the
+  // window horizon for long stretches) and every 40th link posts across the
+  // ring (forcing fallbacks to the full barrier path). With fusion on, the
+  // fast path must engage — and every observable, including the per-shard
+  // event order and the *window count*, must be byte-identical to the
+  // unfused engine at any worker count.
+  auto run = [](int fusion, int workers) {
+    sim::ShardedEngine::Options opt;
+    opt.num_shards = 4;
+    opt.lookahead = Micros(100);
+    opt.workers = workers;
+    opt.fusion = fusion;
+    opt.rebalance_period = 0;
+    sim::ShardedEngine engine(opt);
+    std::vector<std::vector<int>> logs(4);  // Per-shard: written only by its owner.
+    std::function<void(int, int)> link = [&](int shard, int left) {
+      logs[static_cast<size_t>(shard)].push_back(left);
+      if (left <= 0) {
+        return;
+      }
+      auto* sim = engine.shard(shard);
+      if (left % 40 == 0) {
+        const int dst = (shard + 1) % 4;
+        engine.Post(dst, sim->Now() + Micros(120),
+                    [&link, dst, left] { link(dst, left - 1); });
+      } else {
+        sim->ScheduleAt(sim->Now() + Micros(30), [&link, shard, left] { link(shard, left - 1); });
+      }
+    };
+    engine.shard(2)->ScheduleAt(Micros(5), [&link] { link(2, 400); });
+    engine.Run();
+    return std::tuple(engine.windows_run(), engine.fused_windows(), engine.executed_events(),
+                      engine.cross_shard_messages(), engine.Now(), logs);
+  };
+  const auto fused = run(1, 1);
+  const auto unfused = run(0, 1);
+  EXPECT_GT(std::get<1>(fused), 0u) << "fast path never engaged";
+  EXPECT_EQ(std::get<1>(unfused), 0u);
+  EXPECT_EQ(std::get<0>(fused), std::get<0>(unfused)) << "fusion changed the window count";
+  EXPECT_EQ(std::get<2>(fused), std::get<2>(unfused));
+  EXPECT_EQ(std::get<3>(fused), std::get<3>(unfused));
+  EXPECT_EQ(std::get<4>(fused), std::get<4>(unfused));
+  EXPECT_EQ(std::get<5>(fused), std::get<5>(unfused)) << "event order diverged";
+  EXPECT_EQ(run(1, 4), fused) << "fusion decisions depended on worker count";
+}
+
+TEST(ShardedEngineTest, AdaptiveRebalanceIsScheduleInvariantAndBalances) {
+  // Skewed load (shard s runs s+1 event chains): the adaptive LPT repack
+  // must leave every schedule observable untouched — it only moves shards
+  // between threads — while packing the hypothetical 4-worker bins tighter
+  // than the static s % 4 map. Period 0 keeps the static map, in which case
+  // the adaptive and static imbalance ratios coincide by construction.
+  auto run = [](int period, int workers) {
+    sim::ShardedEngine::Options opt;
+    opt.num_shards = 8;
+    opt.lookahead = Micros(100);
+    opt.workers = workers;
+    opt.rebalance_period = period;
+    opt.fusion = 0;
+    sim::ShardedEngine engine(opt);
+    std::vector<std::shared_ptr<std::function<void(int)>>> chains;
+    for (int s = 0; s < 8; ++s) {
+      for (int c = 0; c <= s; ++c) {
+        auto* sim = engine.shard(s);
+        auto chain = std::make_shared<std::function<void(int)>>();
+        *chain = [sim, chain](int left) {
+          if (left > 0) {
+            sim->ScheduleAt(sim->Now() + Micros(30), [chain, left] { (*chain)(left - 1); });
+          }
+        };
+        sim->ScheduleAt(Micros(1) * (c + 1), [chain] { (*chain)(199); });
+        chains.push_back(std::move(chain));
+      }
+    }
+    engine.Run();
+    for (auto& chain : chains) {
+      *chain = nullptr;  // Break the self-reference cycle (LSan flags it).
+    }
+    return std::tuple(engine.windows_run(), engine.executed_events(), engine.Now(),
+                      engine.imbalance_ratio(4), engine.imbalance_ratio_static(4));
+  };
+  const auto statc = run(0, 1);
+  const auto adaptive = run(8, 1);
+  EXPECT_EQ(std::get<0>(statc), std::get<0>(adaptive));
+  EXPECT_EQ(std::get<1>(statc), std::get<1>(adaptive));
+  EXPECT_EQ(std::get<2>(statc), std::get<2>(adaptive));
+  EXPECT_EQ(std::get<3>(statc), std::get<4>(statc)) << "period 0 must keep the static map";
+  EXPECT_LT(std::get<3>(adaptive), std::get<4>(adaptive))
+      << "LPT should beat s % w on a skewed world";
+  // Accounting (including imbalance) is derived from event counts, so it is
+  // itself bit-deterministic across worker counts.
+  EXPECT_EQ(run(8, 4), adaptive);
+}
+
 // ------------------------------------- 1000-node chaos scorecard property
 
 // The PR's headline property: a 1000-node chaos scenario — auto-sharded onto
@@ -171,10 +267,13 @@ harness::ExperimentOptions ChaosWorld() {
   return base;
 }
 
-std::string ChaosScorecard(int intra_workers, int trial_workers) {
+std::string ChaosScorecard(int intra_workers, int trial_workers, int engine_fusion = -1,
+                           int engine_rebalance = -1) {
   harness::ScenarioRunner::Options opt;
   opt.base = ChaosWorld();
   opt.base.intra_workers = intra_workers;
+  opt.base.engine_fusion = engine_fusion;
+  opt.base.engine_rebalance = engine_rebalance;
   opt.strategies = {StrategyKind::kMittos};
   opt.workers = trial_workers;
   harness::ScenarioRunner runner(opt);
@@ -202,6 +301,26 @@ TEST(ShardDeterminismTest, ChaosScorecardIsByteIdenticalAcrossWorkerGrids) {
   }
   // intra=1 x trial=4 closes the grid.
   EXPECT_EQ(ChaosScorecard(1, 4), reference);
+}
+
+TEST(ShardDeterminismTest, FusionAndRebalanceKeepChaosScorecardByteIdentical) {
+  // The scale-out machinery is schedule-preserving: the chaos scorecard with
+  // window fusion disabled, or with the static shard map (rebalance period
+  // 0), must be byte-identical to the default engine's (fusion on, adaptive
+  // LPT repacks every 64 windows) — at every {intra} x {trial} grid corner.
+  const std::string reference = ChaosScorecard(/*intra_workers=*/1, /*trial_workers=*/1);
+  ASSERT_FALSE(reference.empty());
+  // Unfused engine across the grid.
+  EXPECT_EQ(ChaosScorecard(1, 1, /*engine_fusion=*/0), reference);
+  EXPECT_EQ(ChaosScorecard(2, 4, /*engine_fusion=*/0), reference);
+  EXPECT_EQ(ChaosScorecard(8, 1, /*engine_fusion=*/0), reference);
+  // Static-map engine across the grid.
+  EXPECT_EQ(ChaosScorecard(1, 4, -1, /*engine_rebalance=*/0), reference);
+  EXPECT_EQ(ChaosScorecard(2, 1, -1, /*engine_rebalance=*/0), reference);
+  EXPECT_EQ(ChaosScorecard(8, 4, -1, /*engine_rebalance=*/0), reference);
+  // Both off at the far grid corner, and an aggressive repack cadence.
+  EXPECT_EQ(ChaosScorecard(8, 4, 0, 0), reference);
+  EXPECT_EQ(ChaosScorecard(2, 4, -1, /*engine_rebalance=*/4), reference);
 }
 
 TEST(ShardDeterminismTest, IntraWorkerEnvVarIsHonored) {
