@@ -1,0 +1,102 @@
+#include "src/chaos/coverage.h"
+
+namespace mitt::chaos {
+namespace {
+
+constexpr Feature kPlanNamespace = 0x80000000u;
+constexpr Feature kStrategyStride = 4096;
+
+int Log2Bucket(uint64_t v) {
+  int b = 0;
+  while (v > 1 && b < 31) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+std::vector<Feature> CollectFeatures(const fault::FaultPlan& plan,
+                                     const std::vector<harness::RunResult>& results) {
+  std::vector<Feature> out;
+
+  // --- Plan features (strategy-independent) ---
+  uint64_t kind_count[8] = {};
+  for (const fault::FaultEpisode& e : plan.episodes()) {
+    kind_count[static_cast<size_t>(e.kind) & 7]++;
+  }
+  for (int k = 0; k < 8; ++k) {
+    if (kind_count[k] > 0) {
+      out.push_back(kPlanNamespace | static_cast<Feature>(k));
+      out.push_back(kPlanNamespace | static_cast<Feature>(0x100 + k * 32 +
+                                                          Log2Bucket(kind_count[k])));
+    }
+  }
+  out.push_back(kPlanNamespace |
+                static_cast<Feature>(0x200 + Log2Bucket(plan.size() + 1)));
+
+  // --- Per-strategy outcome features ---
+  for (size_t si = 0; si < results.size(); ++si) {
+    const harness::RunResult& r = results[si];
+    const harness::OracleHarvest& h = r.oracle;
+    const Feature base = static_cast<Feature>(si) * kStrategyStride;
+
+    const uint64_t outcome_counters[] = {
+        r.ebusy_failovers,
+        r.timeouts_fired,
+        r.degraded_gets,
+        r.retry_denied,
+        r.deadline_exhausted,
+        r.user_errors,
+        h.done_busy,
+        h.done_exhausted,
+        h.done_error,
+        h.gets_done_duplicate,
+        h.gets_issued - (h.gets_done < h.gets_issued ? h.gets_done : h.gets_issued),
+        static_cast<uint64_t>(h.breaker_log.size()),
+        r.tenant_migrations,
+    };
+    const int num_outcomes = static_cast<int>(sizeof(outcome_counters) / sizeof(uint64_t));
+
+    for (int bit = 0; bit < num_outcomes; ++bit) {
+      if (outcome_counters[bit] == 0) {
+        continue;
+      }
+      out.push_back(base + 16 + static_cast<Feature>(bit));
+      // Volume bucket: 3 timeouts and 300 timeouts are different behaviors.
+      out.push_back(base + 1024 + static_cast<Feature>(bit) * 32 +
+                    static_cast<Feature>(Log2Bucket(outcome_counters[bit])));
+      // Kind x outcome interactions.
+      for (int k = 0; k < 8; ++k) {
+        if (kind_count[k] > 0) {
+          out.push_back(base + 2048 + static_cast<Feature>(k) * 16 + static_cast<Feature>(bit));
+        }
+      }
+    }
+
+    // Breaker transition edges actually exercised.
+    for (const resilience::BreakerTransition& t : h.breaker_log) {
+      out.push_back(base + 512 + static_cast<Feature>(t.from) * 4 + static_cast<Feature>(t.to));
+    }
+  }
+  return out;
+}
+
+size_t CoverageMap::AddAll(const std::vector<Feature>& features) {
+  size_t novel = 0;
+  for (const Feature f : features) {
+    novel += seen_.insert(f).second ? 1 : 0;
+  }
+  return novel;
+}
+
+size_t CoverageMap::CountNovel(const std::vector<Feature>& features) const {
+  size_t novel = 0;
+  for (const Feature f : features) {
+    novel += seen_.count(f) == 0 ? 1 : 0;
+  }
+  return novel;
+}
+
+}  // namespace mitt::chaos

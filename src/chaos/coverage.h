@@ -1,0 +1,58 @@
+// Coverage signal for the chaos explorer.
+//
+// A trial's coverage is a set of small integer features describing WHAT the
+// fault schedule was and WHAT the system did about it:
+//
+//   * plan features   — which FaultKinds appear, log2-bucketed episode counts
+//                       (namespace 0x8000_0000, strategy-independent);
+//   * outcome bits    — per strategy: did failovers / timeouts / degraded
+//                       reads / retry denials / exhausted budgets / user
+//                       errors / duplicate or missing completions happen;
+//   * kind x outcome  — per strategy: each plan kind crossed with each
+//                       outcome bit (the "drop storm while degraded reads
+//                       fire" style interactions the mutator should chase);
+//   * breaker edges   — per strategy: which (from -> to) breaker transitions
+//                       the trial exercised;
+//   * count buckets   — per strategy: log2 buckets of the volume counters,
+//                       so "3 timeouts" and "300 timeouts" are different
+//                       behaviors.
+//
+// A trial enters the corpus iff it contributes at least one feature the map
+// has never seen — classic coverage-guided fuzzing, with behavior tuples
+// standing in for branch edges.
+
+#ifndef MITTOS_CHAOS_COVERAGE_H_
+#define MITTOS_CHAOS_COVERAGE_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/harness/experiment.h"
+
+namespace mitt::chaos {
+
+using Feature = uint32_t;
+
+// All features of one trial (plan + one entry per strategy result, in result
+// order). Deterministic in its inputs.
+std::vector<Feature> CollectFeatures(const fault::FaultPlan& plan,
+                                     const std::vector<harness::RunResult>& results);
+
+class CoverageMap {
+ public:
+  // Inserts every feature; returns how many were new.
+  size_t AddAll(const std::vector<Feature>& features);
+  // How many of these features are not yet in the map (no mutation).
+  size_t CountNovel(const std::vector<Feature>& features) const;
+  size_t size() const { return seen_.size(); }
+  const std::set<Feature>& seen() const { return seen_; }
+
+ private:
+  std::set<Feature> seen_;
+};
+
+}  // namespace mitt::chaos
+
+#endif  // MITTOS_CHAOS_COVERAGE_H_

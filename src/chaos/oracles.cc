@@ -1,0 +1,114 @@
+#include "src/chaos/oracles.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mitt::chaos {
+namespace {
+
+using resilience::BreakerState;
+
+void Fail(std::vector<Violation>* out, const harness::RunResult& r, const char* oracle,
+          std::string detail) {
+  out->push_back({oracle, r.name, std::move(detail)});
+}
+
+std::string Counts(const char* a_name, uint64_t a, const char* b_name, uint64_t b) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s=%" PRIu64 " %s=%" PRIu64, a_name, a, b_name, b);
+  return buf;
+}
+
+bool LegalTransition(BreakerState from, BreakerState to) {
+  switch (from) {
+    case BreakerState::kClosed:
+      return to == BreakerState::kOpen;
+    case BreakerState::kOpen:
+      return to == BreakerState::kHalfOpen;
+    case BreakerState::kHalfOpen:
+      return to == BreakerState::kClosed || to == BreakerState::kOpen;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckOracles(const harness::RunResult& r, bool resilient, bool tenants,
+                  std::vector<Violation>* out) {
+  const harness::OracleHarvest& h = r.oracle;
+  if (!h.enabled) {
+    return;  // Nothing harvested, nothing checkable.
+  }
+
+  if (h.gets_done != h.gets_issued) {
+    Fail(out, r, "completion",
+         Counts("issued", h.gets_issued, "done", h.gets_done) +
+             " — the run drained with gets still pending (lost/hung get)");
+  }
+  if (h.gets_done_duplicate != 0) {
+    Fail(out, r, "exactly_once",
+         Counts("duplicates", h.gets_done_duplicate, "done", h.gets_done));
+  }
+  const uint64_t classified = h.done_ok + h.done_busy + h.done_exhausted + h.done_error;
+  if (classified != h.gets_done) {
+    Fail(out, r, "conservation", Counts("classified", classified, "done", h.gets_done));
+  }
+
+  if (resilient) {
+    if (r.max_sent_deadline < 0 || r.unbounded_deadline_tries != 0) {
+      Fail(out, r, "bounded_sends",
+           Counts("unbounded_tries", r.unbounded_deadline_tries, "max_sent",
+                  static_cast<uint64_t>(r.max_sent_deadline < 0 ? 0 : r.max_sent_deadline)));
+    }
+    if (h.budget_regressions != 0) {
+      Fail(out, r, "budget_monotone",
+           Counts("regressions", h.budget_regressions, "issued", h.gets_issued));
+    }
+    // Per-replica transition chains. Each segment of the merged log is one
+    // health tracker's complete chain (one per shard), so legality resets at
+    // segment starts — every tracker begins all replicas at closed. A
+    // capped-out log cannot be chain-checked — skip rather than lie.
+    if (h.breaker_log_dropped == 0) {
+      std::vector<BreakerState> state;
+      size_t next_segment = 0;
+      for (size_t i = 0; i < h.breaker_log.size(); ++i) {
+        if (next_segment < h.breaker_segments.size() &&
+            h.breaker_segments[next_segment] == i) {
+          state.assign(state.size(), BreakerState::kClosed);
+          ++next_segment;
+        }
+        const resilience::BreakerTransition& t = h.breaker_log[i];
+        if (t.replica < 0) {
+          Fail(out, r, "breaker_legal", "negative replica id in transition log");
+          break;
+        }
+        if (static_cast<size_t>(t.replica) >= state.size()) {
+          state.resize(static_cast<size_t>(t.replica) + 1, BreakerState::kClosed);
+        }
+        BreakerState& prev = state[static_cast<size_t>(t.replica)];
+        if (t.from != prev || !LegalTransition(t.from, t.to)) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "replica %d: %s->%s at t=%" PRId64 " (expected from=%s)", t.replica,
+                        resilience::BreakerStateName(t.from).data(),
+                        resilience::BreakerStateName(t.to).data(), t.at,
+                        resilience::BreakerStateName(prev).data());
+          Fail(out, r, "breaker_legal", buf);
+          break;
+        }
+        prev = t.to;
+      }
+    }
+  }
+
+  if (tenants && !h.placement_ok) {
+    Fail(out, r, "placement_valid", h.placement_detail);
+  }
+}
+
+std::vector<std::string> AllOracleNames() {
+  return {"completion",   "exactly_once",    "conservation",    "bounded_sends",
+          "budget_monotone", "breaker_legal", "placement_valid", "determinism"};
+}
+
+}  // namespace mitt::chaos

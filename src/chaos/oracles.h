@@ -1,0 +1,49 @@
+// Invariant oracles checked after every chaos trial.
+//
+// Each oracle is a property the system must hold under ANY fault schedule —
+// not a performance expectation. The stable oracle names (corpus files and
+// findings key on them):
+//
+//   completion      every issued get eventually completed. The run-until-
+//                   drained simulator makes a hung get *visible* instead of
+//                   wedging the process: drivers stop issuing, daemons are
+//                   the only events left, the run returns with
+//                   gets_done < gets_issued. This is the oracle the planted
+//                   PR-5 denied-retry hang trips.
+//   exactly_once    no get completed twice (duplicate done callbacks).
+//   conservation    first completions split exactly into ok / busy /
+//                   deadline-exhausted / error — no unclassified outcome.
+//   bounded_sends   (resilient only) every sent deadline bounded: no
+//                   deadline-disabled blasts, max_sent_deadline >= 0.
+//   budget_monotone (resilient only) a primary-walk hop never sent a larger
+//                   remaining budget than the previous hop of the same get.
+//   breaker_legal   (resilient only) per-replica breaker transitions form a
+//                   chain through the legal state machine: closed->open,
+//                   open->half_open, half_open->{closed,open}.
+//   placement_valid (tenant worlds) the final placement map routes every
+//                   tenant to in-range, duplicate-free replica groups.
+//   determinism     (checked by the explorer / replay tool, not here) the
+//                   trial fingerprint is byte-identical across the
+//                   MITT_TRIAL_WORKERS x MITT_INTRA_WORKERS grid.
+
+#ifndef MITTOS_CHAOS_ORACLES_H_
+#define MITTOS_CHAOS_ORACLES_H_
+
+#include <vector>
+
+#include "src/chaos/world.h"
+#include "src/harness/experiment.h"
+
+namespace mitt::chaos {
+
+// Appends one Violation per failed oracle for this run. `resilient` arms the
+// resilient-strategy-only oracles; `tenants` arms placement_valid.
+void CheckOracles(const harness::RunResult& result, bool resilient, bool tenants,
+                  std::vector<Violation>* out);
+
+// All oracle names CheckOracles can emit (for tool help / validation).
+std::vector<std::string> AllOracleNames();
+
+}  // namespace mitt::chaos
+
+#endif  // MITTOS_CHAOS_ORACLES_H_

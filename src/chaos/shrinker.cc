@@ -1,0 +1,103 @@
+#include "src/chaos/shrinker.h"
+
+#include <algorithm>
+
+namespace mitt::chaos {
+namespace {
+
+using fault::FaultEpisode;
+using fault::FaultKind;
+
+bool OracleFires(const ChaosWorldOptions& world, const std::vector<FaultEpisode>& episodes,
+                 const std::string& oracle, const ShrinkOptions& options, int* trials) {
+  ++*trials;
+  const TrialOutcome outcome = RunChaosTrial(world, fault::FaultPlan(episodes),
+                                             options.trial_workers, options.intra_workers);
+  for (const Violation& v : outcome.violations) {
+    if (v.oracle == oracle) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkPlan(const ChaosWorldOptions& world, const fault::FaultPlan& plan,
+                        const std::string& oracle, const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.plan = plan;
+  std::vector<FaultEpisode> current = plan.episodes();
+
+  if (!OracleFires(world, current, oracle, options, &result.trials_used)) {
+    return result;  // Not reproducible: hand the caller the input untouched.
+  }
+  result.reproduced = true;
+
+  // --- Phase 1: ddmin over episode subsets ---
+  size_t chunk = std::max<size_t>(1, current.size() / 2);
+  while (chunk >= 1 && current.size() > 1 && result.trials_used < options.max_trials) {
+    bool dropped_any = false;
+    for (size_t at = 0; at < current.size() && result.trials_used < options.max_trials;) {
+      const size_t len = std::min(chunk, current.size() - at);
+      std::vector<FaultEpisode> candidate;
+      candidate.reserve(current.size() - len);
+      candidate.insert(candidate.end(), current.begin(),
+                       current.begin() + static_cast<ptrdiff_t>(at));
+      candidate.insert(candidate.end(), current.begin() + static_cast<ptrdiff_t>(at + len),
+                       current.end());
+      if (!candidate.empty() &&
+          OracleFires(world, candidate, oracle, options, &result.trials_used)) {
+        current = std::move(candidate);  // Chunk was irrelevant; keep position.
+        dropped_any = true;
+      } else {
+        at += len;
+      }
+    }
+    if (chunk == 1 && !dropped_any) {
+      break;  // 1-minimal.
+    }
+    chunk = chunk > 1 ? chunk / 2 : 1;
+  }
+
+  // --- Phase 2: per-episode duration halving ---
+  for (size_t i = 0; i < current.size(); ++i) {
+    while (current[i].duration >= Millis(10) && result.trials_used < options.max_trials) {
+      std::vector<FaultEpisode> candidate = current;
+      candidate[i].duration /= 2;
+      if (OracleFires(world, candidate, oracle, options, &result.trials_used)) {
+        current = std::move(candidate);
+      } else {
+        break;
+      }
+    }
+  }
+
+  // --- Phase 3: per-episode severity weakening toward benign ---
+  for (size_t i = 0; i < current.size(); ++i) {
+    for (int step = 0; step < 6 && result.trials_used < options.max_trials; ++step) {
+      std::vector<FaultEpisode> candidate = current;
+      FaultEpisode& e = candidate[i];
+      if (e.kind == FaultKind::kNetworkDrop) {
+        e.severity *= 0.5;
+        if (e.severity < 0.05) {
+          break;
+        }
+      } else if (e.severity > 1.0) {
+        e.severity = 1.0 + (e.severity - 1.0) * 0.5;
+      } else {
+        break;  // Severity-free kind (pause, partition, crash): nothing to weaken.
+      }
+      if (OracleFires(world, candidate, oracle, options, &result.trials_used)) {
+        current = std::move(candidate);
+      } else {
+        break;
+      }
+    }
+  }
+
+  result.plan = fault::FaultPlan(std::move(current));
+  return result;
+}
+
+}  // namespace mitt::chaos

@@ -1,0 +1,49 @@
+// Automatic schedule shrinking: delta-debugging a violating FaultPlan down
+// to a minimal reproducer.
+//
+// Given a plan that trips oracle O, the shrinker repeatedly re-runs the
+// trial asking "does O still fire?" while
+//   1. ddmin over episode subsets — drop chunks of episodes, halving the
+//      chunk size when no chunk can be dropped (Zeller's classic dd-min, so
+//      the result is 1-minimal: no single episode can be removed);
+//   2. per-episode duration halving — each surviving episode's duration is
+//      halved while O keeps firing;
+//   3. per-episode severity weakening — severities stepped toward benign
+//      (multipliers toward 1.0, drop probabilities halved) while O fires.
+//
+// Everything is deterministic: the trial world is seeded, the shrink order
+// is fixed, and the budget bounds the number of trial executions, so the
+// same (world, plan, oracle) shrinks to the same reproducer on every run.
+
+#ifndef MITTOS_CHAOS_SHRINKER_H_
+#define MITTOS_CHAOS_SHRINKER_H_
+
+#include <string>
+
+#include "src/chaos/world.h"
+#include "src/fault/fault_plan.h"
+
+namespace mitt::chaos {
+
+struct ShrinkOptions {
+  int max_trials = 80;  // Trial-execution budget across all three phases.
+  // Worker knobs for the re-run trials (wall clock only, never results).
+  int trial_workers = 1;
+  int intra_workers = 1;
+};
+
+struct ShrinkResult {
+  fault::FaultPlan plan;   // The minimized plan (== input when nothing held).
+  int trials_used = 0;
+  bool reproduced = false;  // False: the oracle never fired even on the input.
+};
+
+// Minimizes `plan` while `oracle` (a CheckOracles name) keeps firing on
+// `world`. The returned plan always still trips the oracle when
+// `reproduced` is true.
+ShrinkResult ShrinkPlan(const ChaosWorldOptions& world, const fault::FaultPlan& plan,
+                        const std::string& oracle, const ShrinkOptions& options);
+
+}  // namespace mitt::chaos
+
+#endif  // MITTOS_CHAOS_SHRINKER_H_

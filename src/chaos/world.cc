@@ -1,0 +1,146 @@
+#include "src/chaos/world.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/chaos/oracles.h"
+
+namespace mitt::chaos {
+namespace {
+
+// FNV-1a over a byte-free integer stream: feed each value as 8 bytes.
+struct Fnv {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  }
+};
+
+void Append(std::string* s, const char* key, uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%" PRIu64, key, v);
+  *s += buf;
+}
+
+}  // namespace
+
+harness::ExperimentOptions MakeExperimentOptions(const ChaosWorldOptions& world,
+                                                 const fault::FaultPlan& plan) {
+  harness::ExperimentOptions opt;
+  opt.num_nodes = world.num_nodes;
+  opt.num_clients = world.num_clients;
+  opt.measure_requests = world.requests;
+  opt.warmup_requests = world.warmup;
+  opt.pin_primary_node = 0;
+  opt.backend = os::BackendKind::kDiskCfq;
+  opt.num_keys_per_node = 1 << 14;  // Small keyspace: chaos trials must be cheap.
+  opt.deadline = world.deadline;
+  // Light contention on the pinned primary keeps the device queue non-empty
+  // (EBUSY paths reachable) without drowning the injected faults.
+  opt.noise = harness::NoiseKind::kContinuous;
+  opt.continuous_intensity = 2;
+  opt.noise_io_size = 4096;
+  opt.noise_priority = 7;
+  opt.noise_horizon = world.horizon;
+  opt.fault_plan = plan;
+  opt.num_shards = world.num_shards;
+  opt.seed = world.seed;
+  opt.harvest_oracles = true;
+
+  // A tight retry budget + fast-tripping breakers: drop storms then exercise
+  // the timer -> denied-retry -> late-reply path within a ~700 ms horizon,
+  // which is exactly where the planted liveness bug lives.
+  opt.resilience.retry.burst = 1.5;
+  opt.resilience.retry.initial = 1.5;
+  opt.resilience.retry.refill_per_success = 0.05;
+  opt.resilience.health.min_samples = 4;
+  opt.resilience.health.open_base = Millis(20);
+  opt.resilience.test_swallow_late_reply = world.inject_bug;
+
+  if (world.tenants) {
+    opt.tenants.enabled = true;
+    opt.tenants.mix.num_tenants = 48;
+    opt.tenants.mix.total_rate_hz = 3000;
+    opt.tenants.slo_aware = true;
+    opt.tenants.warmup = Millis(60);
+    opt.tenants.duration = world.horizon - Millis(60);
+    opt.tenants.controller.period = Millis(100);
+  }
+  return opt;
+}
+
+std::string ResultFingerprint(const harness::RunResult& r) {
+  std::string s = r.name;
+  Append(&s, "req", r.requests);
+  Append(&s, "n", r.get_latencies.count());
+  if (r.get_latencies.count() > 0) {
+    Append(&s, "p50", static_cast<uint64_t>(r.get_latencies.Percentile(50)));
+    Append(&s, "p99", static_cast<uint64_t>(r.get_latencies.Percentile(99)));
+    Append(&s, "max", static_cast<uint64_t>(r.get_latencies.Max()));
+  }
+  Append(&s, "ebusy", r.ebusy_failovers);
+  Append(&s, "tmo", r.timeouts_fired);
+  Append(&s, "err", r.user_errors);
+  Append(&s, "deg", r.degraded_gets);
+  Append(&s, "den", r.retry_denied);
+  Append(&s, "exh", r.deadline_exhausted);
+  Append(&s, "maxdl", static_cast<uint64_t>(r.max_sent_deadline));
+  Append(&s, "issued", r.oracle.gets_issued);
+  Append(&s, "done", r.oracle.gets_done);
+  Append(&s, "dup", r.oracle.gets_done_duplicate);
+  Append(&s, "ok", r.oracle.done_ok);
+  Append(&s, "busy", r.oracle.done_busy);
+  Append(&s, "bexh", r.oracle.done_exhausted);
+  Append(&s, "berr", r.oracle.done_error);
+  Append(&s, "breg", r.oracle.budget_regressions);
+  Append(&s, "fep", r.fault_episodes);
+  Append(&s, "ten", r.tenant_requests);
+  Append(&s, "mig", r.tenant_migrations);
+
+  Fnv fault_hash;
+  for (const fault::AppliedEpisode& e : r.fault_log) {
+    fault_hash.Mix(static_cast<uint64_t>(e.kind));
+    fault_hash.Mix(static_cast<uint64_t>(e.node));
+    fault_hash.Mix(static_cast<uint64_t>(e.start));
+    fault_hash.Mix(static_cast<uint64_t>(e.end));
+  }
+  Append(&s, "fhash", fault_hash.h);
+
+  Fnv breaker_hash;
+  for (const resilience::BreakerTransition& t : r.oracle.breaker_log) {
+    breaker_hash.Mix(static_cast<uint64_t>(t.replica));
+    breaker_hash.Mix(static_cast<uint64_t>(t.from));
+    breaker_hash.Mix(static_cast<uint64_t>(t.to));
+    breaker_hash.Mix(static_cast<uint64_t>(t.at));
+  }
+  Append(&s, "blog", r.oracle.breaker_log.size());
+  Append(&s, "bhash", breaker_hash.h);
+  return s;
+}
+
+TrialOutcome RunChaosTrial(const ChaosWorldOptions& world, const fault::FaultPlan& plan,
+                           int trial_workers, int intra_workers) {
+  std::vector<harness::Trial> trials;
+  trials.reserve(world.strategies.size());
+  for (const harness::StrategyKind kind : world.strategies) {
+    harness::Trial t;
+    t.options = MakeExperimentOptions(world, plan);
+    t.options.intra_workers = intra_workers;
+    t.kind = kind;
+    trials.push_back(t);
+  }
+  TrialOutcome outcome;
+  outcome.results = harness::RunTrialsParallel(trials, trial_workers);
+  for (size_t i = 0; i < outcome.results.size(); ++i) {
+    const bool resilient = world.strategies[i] == harness::StrategyKind::kMittosResilient;
+    CheckOracles(outcome.results[i], resilient, world.tenants, &outcome.violations);
+    outcome.fingerprint += ResultFingerprint(outcome.results[i]);
+    outcome.fingerprint += '\n';
+  }
+  return outcome;
+}
+
+}  // namespace mitt::chaos

@@ -32,6 +32,9 @@ struct ResilientMittosStrategy::GetState {
   obs::TraceContext trace;
   bool settled = false;
   int tries = 0;
+  // Remaining budget sent by the previous primary-walk hop; <0 until the
+  // first hop. Feeds the budget-monotonicity oracle counter.
+  DurationNs last_sent_remaining = -1;
   std::vector<int> degraded_order;
   size_t degraded_next = 0;
   Status last_degraded_status = Status::Unavailable();
@@ -146,6 +149,10 @@ void ResilientMittosStrategy::TryNext(std::shared_ptr<GetState> g) {
   ++g->tries;
   const DurationNs remaining = NoteSentDeadline(
       g->budget.unlimited() ? options_.deadline : g->budget.Remaining(now));
+  if (g->last_sent_remaining >= 0 && remaining > g->last_sent_remaining) {
+    ++budget_regressions_;
+  }
+  g->last_sent_remaining = remaining;
 
   auto attempt = std::make_shared<AttemptState>();
   attempt->node = node;
@@ -194,7 +201,9 @@ void ResilientMittosStrategy::TryNext(std::shared_ptr<GetState> g) {
           // Liveness: when the retry token bucket denied the timer a resend,
           // this late reply is the only thing still driving the get — a late
           // EBUSY (or error) must advance the walk, not be swallowed.
-          if (!attempt->retry_scheduled && !g->settled) {
+          // test_swallow_late_reply reinstates the pre-fix swallow as the
+          // chaos search's planted bug (see ResilientOptions).
+          if (!options_.test_swallow_late_reply && !attempt->retry_scheduled && !g->settled) {
             if (status.busy()) {
               g->hints[attempt->index] = hint;
               ++ebusy_failovers_;

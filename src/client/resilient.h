@@ -58,6 +58,14 @@ struct ResilientOptions {
   int degraded_max_rounds = 12;
   DurationNs degraded_deadline_cap = Seconds(2);
   bool degraded_enabled = true;  // false: exhausted budget -> kDeadlineExhausted.
+  // TEST ONLY. Reintroduces the denied-retry/late-EBUSY liveness bug this
+  // strategy originally shipped with: when the attempt timer fired, the retry
+  // budget denied the resend, and the late reply is an EBUSY/error, the reply
+  // is swallowed instead of advancing the walk — the get never settles. Kept
+  // behind this flag as the chaos-search engine's planted ground truth (the
+  // exactly-once/conservation oracle must find and shrink it); never set it
+  // in production configurations.
+  bool test_swallow_late_reply = false;
 };
 
 class ResilientMittosStrategy : public GetStrategy {
@@ -80,6 +88,12 @@ class ResilientMittosStrategy : public GetStrategy {
   uint64_t retry_denied() const { return retry_budget_.denied(); }
   // Largest deadline ever sent; must stay bounded (never kNoDeadline).
   DurationNs max_sent_deadline() const { return max_sent_deadline_; }
+  // Times a primary-walk hop sent a *larger* remaining budget than the
+  // previous hop of the same get. DeadlineBudget monotonicity says this must
+  // be 0: time only moves forward, so Remaining() only shrinks. (The
+  // degraded path is excluded by design — it deliberately re-escalates to at
+  // least one full SLO, bounded by degraded_deadline_cap.)
+  uint64_t budget_regressions() const { return budget_regressions_; }
   const resilience::ReplicaHealthTracker& health() const { return health_; }
 
  private:
@@ -103,6 +117,7 @@ class ResilientMittosStrategy : public GetStrategy {
   uint64_t degraded_sheds_seen_ = 0;
   uint64_t deadline_exhausted_ = 0;
   uint64_t backoffs_ = 0;
+  uint64_t budget_regressions_ = 0;
   DurationNs max_sent_deadline_ = 0;
 };
 

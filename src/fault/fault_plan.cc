@@ -1,6 +1,8 @@
 #include "src/fault/fault_plan.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <stdexcept>
 
 namespace mitt::fault {
 
@@ -39,7 +41,51 @@ void SortEpisodes(std::vector<FaultEpisode>& episodes) {
                    });
 }
 
+// One warning line for an overlapping (earlier, later) pair, in plan order.
+std::string OverlapLine(const FaultEpisode& a, const FaultEpisode& b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "overlap: %s node=%d [%lld, %lld) and node=%d [%lld, %lld)",
+                std::string(FaultKindName(a.kind)).c_str(), a.node,
+                static_cast<long long>(a.start), static_cast<long long>(a.end()), b.node,
+                static_cast<long long>(b.start), static_cast<long long>(b.end()));
+  return buf;
+}
+
 }  // namespace
+
+bool EpisodesOverlap(const FaultEpisode& a, const FaultEpisode& b) {
+  if (a.kind != b.kind) {
+    return false;  // Distinct kinds drive distinct injector knobs.
+  }
+  // Node selectors overlap when equal or either is the all-nodes wildcard.
+  if (a.node != b.node && a.node >= 0 && b.node >= 0) {
+    return false;
+  }
+  // SSD read-retry: chip selectors overlap when equal or either is all-chips.
+  if (a.kind == FaultKind::kSsdReadRetry && a.chip != b.chip && a.chip >= 0 && b.chip >= 0) {
+    return false;
+  }
+  return a.start < b.end() && b.start < a.end();
+}
+
+std::vector<std::string> FindOverlaps(const std::vector<FaultEpisode>& sorted_episodes) {
+  std::vector<std::string> warnings;
+  for (size_t i = 0; i < sorted_episodes.size(); ++i) {
+    for (size_t j = i + 1; j < sorted_episodes.size(); ++j) {
+      // Sorted by start: once j starts at/after i's end, no later j overlaps
+      // i either — except wildcard-node pairs, which the inner check still
+      // sees because overlap requires time intersection regardless.
+      if (sorted_episodes[j].start >= sorted_episodes[i].end()) {
+        break;
+      }
+      if (EpisodesOverlap(sorted_episodes[i], sorted_episodes[j])) {
+        warnings.push_back(OverlapLine(sorted_episodes[i], sorted_episodes[j]));
+      }
+    }
+  }
+  return warnings;
+}
 
 FaultPlan::FaultPlan(std::vector<FaultEpisode> episodes) : episodes_(std::move(episodes)) {
   SortEpisodes(episodes_);
@@ -47,6 +93,11 @@ FaultPlan::FaultPlan(std::vector<FaultEpisode> episodes) : episodes_(std::move(e
 
 FaultPlanBuilder& FaultPlanBuilder::Add(const FaultEpisode& episode) {
   episodes_.push_back(episode);
+  return *this;
+}
+
+FaultPlanBuilder& FaultPlanBuilder::SetOverlapPolicy(OverlapPolicy policy) {
+  overlap_policy_ = policy;
   return *this;
 }
 
@@ -90,15 +141,32 @@ FaultPlanBuilder& FaultPlanBuilder::RepeatEpisodes(FaultKind kind, int node, Tim
   Rng rng(seed ^ (static_cast<uint64_t>(kind) << 32) ^ static_cast<uint64_t>(node + 1));
   TimeNs t = static_cast<TimeNs>(rng.Exponential(static_cast<double>(mean_gap)));
   while (t < horizon) {
-    const auto on = static_cast<DurationNs>(
+    auto on = static_cast<DurationNs>(
         rng.Uniform(static_cast<double>(min_on), static_cast<double>(max_on)));
-    Add({kind, node, t, on, severity, chip});
+    // Truncate (never shift) so the episode stays inside [0, horizon) while
+    // every earlier draw — and therefore every earlier episode — is
+    // byte-identical to the unclamped schedule.
+    const DurationNs clamped = std::min(on, horizon - t);
+    if (clamped > 0) {
+      Add({kind, node, t, clamped, severity, chip});
+    }
     t += on + static_cast<TimeNs>(rng.Exponential(static_cast<double>(mean_gap)));
   }
   return *this;
 }
 
-FaultPlan FaultPlanBuilder::Build() { return FaultPlan(std::move(episodes_)); }
+FaultPlan FaultPlanBuilder::Build() {
+  FaultPlan plan(std::move(episodes_));
+  episodes_.clear();
+  if (overlap_policy_ != OverlapPolicy::kAllow) {
+    std::vector<std::string> warnings = FindOverlaps(plan.episodes());
+    if (!warnings.empty() && overlap_policy_ == OverlapPolicy::kReject) {
+      throw std::invalid_argument("FaultPlanBuilder: " + warnings.front());
+    }
+    plan.overlap_warnings_ = std::move(warnings);
+  }
+  return plan;
+}
 
 FaultPlan GenerateChaosPlan(const ChaosOptions& options, int num_nodes, TimeNs horizon,
                             uint64_t seed) {
@@ -140,6 +208,13 @@ FaultPlan GenerateChaosPlan(const ChaosOptions& options, int num_nodes, TimeNs h
       builder.RepeatEpisodes(FaultKind::kNetworkDegrade, node, horizon, options.mean_gap,
                              options.min_on, options.max_on, options.network_multiplier,
                              seed ^ 0xDE6);
+    }
+  }
+  if (options.network_drop) {
+    for (const int node : victims(FaultKind::kNetworkDrop)) {
+      builder.RepeatEpisodes(FaultKind::kNetworkDrop, node, horizon, options.mean_gap,
+                             options.min_on, options.max_on, options.drop_probability,
+                             seed ^ 0xD409);
     }
   }
   if (options.network_partition) {

@@ -19,6 +19,7 @@
 #define MITTOS_FAULT_FAULT_PLAN_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -66,7 +67,18 @@ struct FaultEpisode {
   int chip = -1;             // kSsdReadRetry only: target chip, -1 = all.
 
   TimeNs end() const { return start + duration; }
+
+  bool operator==(const FaultEpisode&) const = default;
 };
+
+// True when the two episodes would drive the *same* injector target (same
+// kind on an overlapping node/chip selector) over an overlapping time range.
+// The injector does not compose same-target episodes: the later Begin
+// overwrites the earlier one's multiplier and the earlier End clears the
+// fault while the later episode is nominally still active (last-write-wins,
+// first-end-clears). Overlaps are therefore almost always plan bugs; see
+// FaultPlanBuilder::SetOverlapPolicy.
+bool EpisodesOverlap(const FaultEpisode& a, const FaultEpisode& b);
 
 // One fault activation as actually applied by the injector, logged in
 // activation order — the replayable ground truth a determinism check (or a
@@ -92,15 +104,42 @@ class FaultPlan {
   bool empty() const { return episodes_.empty(); }
   size_t size() const { return episodes_.size(); }
 
+  // Same-target overlap diagnostics recorded by FaultPlanBuilder::Build()
+  // under OverlapPolicy::kWarn (empty for plans built directly from episode
+  // vectors). Deterministic: one line per overlapping pair, in sorted-plan
+  // order.
+  const std::vector<std::string>& overlap_warnings() const { return overlap_warnings_; }
+
  private:
+  friend class FaultPlanBuilder;
   std::vector<FaultEpisode> episodes_;
+  std::vector<std::string> overlap_warnings_;
 };
+
+// Deterministic same-target overlap scan over a *sorted* episode list.
+// Returns one human-readable line per overlapping pair, in plan order — the
+// shared engine behind FaultPlanBuilder::Build() and the chaos mutator's
+// well-formedness filter.
+std::vector<std::string> FindOverlaps(const std::vector<FaultEpisode>& sorted_episodes);
+
+// What FaultPlanBuilder::Build() does about same-target overlapping episodes.
+// The injector's precedence for overlaps is last-write-wins on Begin and
+// first-end-clears on End (see EpisodesOverlap) — surprising enough that the
+// builder flags them instead of letting plans silently under-inject:
+//   kWarn   (default) — build the plan as given, recording one deterministic
+//                       warning line per overlapping pair on the plan.
+//   kReject — throw std::invalid_argument naming the first overlapping pair.
+//   kAllow  — legacy behavior: build silently (for plans that deliberately
+//             exploit the overwrite semantics).
+enum class OverlapPolicy : uint8_t { kAllow, kWarn, kReject };
 
 // Fluent builder for hand-written scenarios. Episodes may be added in any
 // order; Build() sorts them into deterministic delivery order.
 class FaultPlanBuilder {
  public:
   FaultPlanBuilder& Add(const FaultEpisode& episode);
+
+  FaultPlanBuilder& SetOverlapPolicy(OverlapPolicy policy);
 
   FaultPlanBuilder& FailSlowDisk(int node, TimeNs start, DurationNs duration, double multiplier);
   FaultPlanBuilder& SsdReadRetry(int node, TimeNs start, DurationNs duration, double multiplier,
@@ -113,7 +152,10 @@ class FaultPlanBuilder {
 
   // Repeated episodes of one kind on one node: exponential gaps around
   // `mean_gap`, uniform durations in [min_on, max_on], all derived from
-  // `seed` — the fault-side analogue of an EC2 noise schedule.
+  // `seed` — the fault-side analogue of an EC2 noise schedule. Every episode
+  // lies entirely within [0, horizon): an on-duration that would cross the
+  // horizon is truncated to end exactly there (the RNG stream is unchanged,
+  // so all earlier episodes are identical to the untruncated schedule).
   FaultPlanBuilder& RepeatEpisodes(FaultKind kind, int node, TimeNs horizon, DurationNs mean_gap,
                                    DurationNs min_on, DurationNs max_on, double severity,
                                    uint64_t seed, int chip = -1);
@@ -122,6 +164,7 @@ class FaultPlanBuilder {
 
  private:
   std::vector<FaultEpisode> episodes_;
+  OverlapPolicy overlap_policy_ = OverlapPolicy::kWarn;
 };
 
 // Seeded chaos mix: every enabled fault class sprinkled independently across
@@ -131,6 +174,7 @@ struct ChaosOptions {
   bool fail_slow_disk = true;
   bool ssd_read_retry = false;   // Only meaningful on SSD-backed worlds.
   bool network_degrade = true;
+  bool network_drop = false;     // Lossy-link storms (retransmit-visible).
   bool network_partition = false;
   bool node_pause = true;
   bool node_crash = false;
@@ -141,6 +185,7 @@ struct ChaosOptions {
   double fail_slow_multiplier = 4.0;
   double read_retry_multiplier = 25.0;
   double network_multiplier = 20.0;
+  double drop_probability = 0.85;          // kNetworkDrop severity, in (0, 1].
   DurationNs pause_duration = Millis(120);
   DurationNs restart_duration = Millis(250);
   // Fraction of nodes each fault class may strike (>=1 node always eligible).

@@ -114,7 +114,85 @@ void HarvestTenants(const tenant::TenantDirectory& directory, std::vector<ClassA
   }
 }
 
+// Wraps a get's completion callback for the oracle harvest: counts the issue
+// here, the first completion (split by status) and any duplicate completion
+// in the wrapper. Null harvest = oracles off = the callback passes through
+// untouched (no per-get latch allocation on the hot benches).
+client::GetDoneFn WrapOracleDone(OracleHarvest* h, client::GetDoneFn done) {
+  if (h == nullptr) {
+    return done;
+  }
+  ++h->gets_issued;
+  auto calls = std::make_shared<int>(0);
+  return [h, calls, done = std::move(done)](const client::GetResult& r) {
+    if (++*calls > 1) {
+      ++h->gets_done_duplicate;
+    } else {
+      ++h->gets_done;
+      if (r.status.ok()) {
+        ++h->done_ok;
+      } else if (r.status.busy()) {
+        ++h->done_busy;
+      } else if (r.status.code() == StatusCode::kDeadlineExhausted) {
+        ++h->done_exhausted;
+      } else {
+        ++h->done_error;
+      }
+    }
+    done(r);
+  };
+}
+
+// Placement-map validity oracle: every group node in [0, num_nodes), no
+// duplicate node within a group. Run after the workload (the controller only
+// mutates the map at quiesced ticks, so post-run state is the final word).
+void ValidatePlacement(const tenant::PlacementMap& map, int num_nodes, OracleHarvest* h) {
+  if (h == nullptr) {
+    return;
+  }
+  for (tenant::TenantId t = 0; t < map.num_tenants(); ++t) {
+    const tenant::ReplicaGroup g = map.group(t);
+    for (int r = 0; r < g.size; ++r) {
+      if (g.node[r] < 0 || g.node[r] >= num_nodes) {
+        h->placement_ok = false;
+        h->placement_detail = "tenant " + std::to_string(t) + " replica " + std::to_string(r) +
+                              " out of range: " + std::to_string(g.node[r]);
+        return;
+      }
+      for (int k = 0; k < r; ++k) {
+        if (g.node[k] == g.node[r]) {
+          h->placement_ok = false;
+          h->placement_detail = "tenant " + std::to_string(t) + " duplicate replica node " +
+                                std::to_string(g.node[r]);
+          return;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
+
+void OracleHarvest::MergeFrom(const OracleHarvest& other) {
+  enabled = enabled || other.enabled;
+  gets_issued += other.gets_issued;
+  gets_done += other.gets_done;
+  gets_done_duplicate += other.gets_done_duplicate;
+  done_ok += other.done_ok;
+  done_busy += other.done_busy;
+  done_exhausted += other.done_exhausted;
+  done_error += other.done_error;
+  budget_regressions += other.budget_regressions;
+  for (const size_t seg : other.breaker_segments) {
+    breaker_segments.push_back(breaker_log.size() + seg);
+  }
+  breaker_log.insert(breaker_log.end(), other.breaker_log.begin(), other.breaker_log.end());
+  breaker_log_dropped += other.breaker_log_dropped;
+  if (!other.placement_ok && placement_ok) {
+    placement_ok = false;
+    placement_detail = other.placement_detail;
+  }
+}
 
 int ResolveShards(const ExperimentOptions& options) {
   if (options.shared_cpu_cores > 0) {
@@ -292,6 +370,8 @@ std::unique_ptr<client::GetStrategy> Experiment::MakeStrategy(StrategyKind kind,
       client::ResilientOptions opt = options_.resilience;
       opt.name = "MittOS+res";
       opt.deadline = deadline;
+      // The breaker-legality oracle needs the in-order transition log.
+      opt.health.record_transitions = opt.health.record_transitions || options_.harvest_oracles;
       return std::make_unique<client::ResilientMittosStrategy>(sim, cluster, seed, opt);
     }
   }
@@ -330,6 +410,16 @@ void Experiment::CollectCounters(StrategyKind kind, const client::GetStrategy& s
       out->deadline_exhausted += s.deadline_exhausted();
       out->retry_denied += s.retry_denied();
       out->max_sent_deadline = std::max(out->max_sent_deadline, s.max_sent_deadline());
+      out->oracle.budget_regressions += s.budget_regressions();
+      const auto& transitions = s.health().transitions();
+      if (!transitions.empty()) {
+        // One tracker instance = one legality segment (sharded runs collect
+        // once per shard, and every tracker starts its replicas at closed).
+        out->oracle.breaker_segments.push_back(out->oracle.breaker_log.size());
+      }
+      out->oracle.breaker_log.insert(out->oracle.breaker_log.end(), transitions.begin(),
+                                     transitions.end());
+      out->oracle.breaker_log_dropped += s.health().transitions_dropped();
       break;
     }
     default:
@@ -546,6 +636,10 @@ RunResult Experiment::Run(StrategyKind kind) {
   auto strategy = MakeStrategy(kind, &sim, &cluster);
   RunResult result;
   result.name = std::string(StrategyKindName(kind));
+  OracleHarvest* oracle = options_.harvest_oracles ? &result.oracle : nullptr;
+  if (oracle != nullptr) {
+    oracle->enabled = true;
+  }
 
   const uint64_t keyspace = static_cast<uint64_t>(options_.num_keys_per_node) *
                             static_cast<uint64_t>(options_.num_nodes);
@@ -603,6 +697,7 @@ RunResult Experiment::Run(StrategyKind kind) {
           }
           const tenant::TenantId t = ctx.tenant;
           strategy->Get(ReplayKeyFor(event.offset, event.stream, keyspace), ctx,
+                        WrapOracleDone(oracle,
                         [&, t, start, measured](const client::GetResult& get_result) {
                           const DurationNs latency = sim.Now() - start;
                           if (measured) {
@@ -617,7 +712,7 @@ RunResult Experiment::Run(StrategyKind kind) {
                             ++result.user_errors;
                           }
                           ++completed;
-                        });
+                        }));
         });
     driver.Start();
     // Arrivals drain first (done()), then the tail of in-flight gets.
@@ -641,6 +736,7 @@ RunResult Experiment::Run(StrategyKind kind) {
             recorder.Record(start, static_cast<int64_t>(key) << 12, 4096, trace::kOpRead, t);
           }
           strategy->Get(key, client::GetContext{t, directory.slo_of(t)},
+                        WrapOracleDone(oracle,
                         [&, t, start, measured](const client::GetResult& get_result) {
                           const DurationNs latency = sim.Now() - start;
                           if (measured) {
@@ -653,7 +749,7 @@ RunResult Experiment::Run(StrategyKind kind) {
                             ++result.user_errors;
                           }
                           ++completed;
-                        });
+                        }));
         });
     driver.Start();
     sim.RunUntilPredicate([&] { return driver.done() && completed >= driver.dispatched(); });
@@ -707,7 +803,8 @@ RunResult Experiment::Run(StrategyKind kind) {
           recorder.Record(get_start, static_cast<int64_t>(key) << 12, 4096, trace::kOpRead,
                           static_cast<uint32_t>(client_idx));
         }
-        strategy->Get(key, [&, issue, client_idx, start, get_start, measured, remaining](
+        strategy->Get(key, WrapOracleDone(oracle, [&, issue, client_idx, start, get_start,
+                                                   measured, remaining](
                                const client::GetResult& get_result) {
           if (measured) {
             result.get_latencies.Record(sim.Now() - get_start);
@@ -723,7 +820,7 @@ RunResult Experiment::Run(StrategyKind kind) {
           }
           ++completed;
           (*issue)(client_idx);
-        });
+        }));
       }
     };
     for (int c = 0; c < options_.num_clients; ++c) {
@@ -741,6 +838,7 @@ RunResult Experiment::Run(StrategyKind kind) {
 
   if (options_.tenants.enabled) {
     HarvestTenants(directory, class_aggs, controller.get(), &result);
+    ValidatePlacement(*placement, options_.num_nodes, oracle);
   }
   if (recording) {
     std::string error;
@@ -834,6 +932,7 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
     size_t completed = 0;
     std::vector<ClassAgg> class_aggs;  // Tenant runs: per-class, this shard.
     trace::TraceRecorder recorder;     // record_trace_path: this shard's arrivals.
+    OracleHarvest oracle;              // harvest_oracles: this shard's counts.
   };
   std::vector<ShardCtx> shard_ctx(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
@@ -898,9 +997,10 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
       ShardCtx* ctx = &shard_ctx[static_cast<size_t>(s)];
       client::GetStrategy* strategy = ctx->strategy.get();
       const bool tenants_on = options_.tenants.enabled;
+      OracleHarvest* oracle = options_.harvest_oracles ? &ctx->oracle : nullptr;
       drivers.push_back(std::make_unique<trace::TraceReplayDriver>(
           sim, cursors.back().get(), ropt,
-          [sim, ctx, strategy, keyspace, recording, tenants_on, &directory](
+          [sim, ctx, strategy, keyspace, recording, tenants_on, oracle, &directory](
               const trace::TraceEvent& event, uint64_t /*global_index*/, bool measured) {
             const TimeNs start = sim->Now();
             if (recording) {
@@ -913,6 +1013,7 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
             }
             const tenant::TenantId t = gctx.tenant;
             strategy->Get(ReplayKeyFor(event.offset, event.stream, keyspace), gctx,
+                          WrapOracleDone(oracle,
                           [sim, ctx, t, start, measured,
                            &directory](const client::GetResult& get_result) {
                             const DurationNs latency = sim->Now() - start;
@@ -928,7 +1029,7 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
                               ++ctx->user_errors;
                             }
                             ++ctx->completed;
-                          });
+                          }));
           }));
       drivers.back()->Start();
     }
@@ -968,16 +1069,18 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
       sim::Simulator* sim = engine.shard(s);
       ShardCtx* ctx = &shard_ctx[static_cast<size_t>(s)];
       client::GetStrategy* strategy = ctx->strategy.get();
+      OracleHarvest* oracle = options_.harvest_oracles ? &ctx->oracle : nullptr;
       drivers.push_back(std::make_unique<tenant::TenantLoadDriver>(
           sim, &directory, dopt,
-          [sim, ctx, strategy, recording, &directory](tenant::TenantId t, uint64_t key,
-                                                      bool measured) {
+          [sim, ctx, strategy, recording, oracle, &directory](tenant::TenantId t, uint64_t key,
+                                                              bool measured) {
             const TimeNs start = sim->Now();
             if (recording) {
               ctx->recorder.Record(start, static_cast<int64_t>(key) << 12, 4096,
                                    trace::kOpRead, t);
             }
             strategy->Get(key, client::GetContext{t, directory.slo_of(t)},
+                          WrapOracleDone(oracle,
                           [sim, ctx, t, start, measured,
                            &directory](const client::GetResult& get_result) {
                             const DurationNs latency = sim->Now() - start;
@@ -991,7 +1094,7 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
                               ++ctx->user_errors;
                             }
                             ++ctx->completed;
-                          });
+                          }));
           }));
       drivers.back()->Start();
     }
@@ -1070,7 +1173,9 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
           ctx.recorder.Record(get_start, static_cast<int64_t>(key) << 12, 4096,
                               trace::kOpRead, static_cast<uint32_t>(client_idx));
         }
-        ctx.strategy->Get(key, [&, issue, client_idx, start, get_start, measured, remaining](
+        OracleHarvest* oracle = options_.harvest_oracles ? &ctx.oracle : nullptr;
+        ctx.strategy->Get(key, WrapOracleDone(oracle,
+                               [&, issue, client_idx, start, get_start, measured, remaining](
                                    const client::GetResult& get_result) {
           ShardCtx& cb_ctx = shard_ctx[static_cast<size_t>((*clients)[client_idx].shard)];
           sim::Simulator* cb_sim = engine.shard((*clients)[client_idx].shard);
@@ -1088,7 +1193,7 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
           }
           ++cb_ctx.completed;
           (*issue)(client_idx);
-        });
+        }));
       }
     };
     for (size_t c = 0; c < num_clients; ++c) {
@@ -1113,9 +1218,13 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
     result.requests += ctx.completed;
     result.user_errors += ctx.user_errors;
   }
+  result.oracle.enabled = options_.harvest_oracles;
   for (ShardCtx& ctx : shard_ctx) {
     result.get_latencies.MergeFrom(ctx.get_latencies);
     result.user_latencies.MergeFrom(ctx.user_latencies);
+    // Shard-order merge keeps the combined breaker log deterministic at any
+    // MITT_INTRA_WORKERS (each shard's log is already in its own sim order).
+    result.oracle.MergeFrom(ctx.oracle);
     CollectCounters(kind, *ctx.strategy, &result);
   }
   if (options_.tenants.enabled) {
@@ -1132,6 +1241,8 @@ RunResult Experiment::RunSharded(StrategyKind kind, int num_shards) {
       }
     }
     HarvestTenants(directory, merged, controller.get(), &result);
+    ValidatePlacement(*placement, options_.num_nodes,
+                      options_.harvest_oracles ? &result.oracle : nullptr);
   }
   if (recording) {
     trace::TraceRecorder merged;

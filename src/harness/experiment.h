@@ -213,11 +213,51 @@ struct ExperimentOptions {
   // < 0 = $MITT_ENGINE_FUSION != "0" else on).
   int engine_fusion = -1;
 
+  // Per-trial invariant-oracle harvest (src/chaos/): wrap every issued get
+  // with exactly-once / conservation accounting, record breaker transitions,
+  // and validate the placement map after the run. Off by default — the wrap
+  // allocates a per-get latch, which the hot benches must not pay.
+  bool harvest_oracles = false;
+
   uint64_t seed = 42;
 };
 
 // The shard count Run() will actually use (auto resolution above).
 int ResolveShards(const ExperimentOptions& options);
+
+// Ground truth for the chaos-search invariant oracles, collected when
+// ExperimentOptions::harvest_oracles is on. Every get issued by the driver is
+// wrapped: the wrapper counts the issue, the first completion (split by
+// status), and any *extra* completion (the exactly-once violation). A run
+// that drains with gets_done < gets_issued lost a get — the liveness
+// violation the PR 5 denied-retry hang produced. Sharded runs merge
+// per-shard harvests in shard order, so the harvest itself is bit-identical
+// at any worker grid.
+struct OracleHarvest {
+  bool enabled = false;
+  uint64_t gets_issued = 0;
+  uint64_t gets_done = 0;            // First completions only.
+  uint64_t gets_done_duplicate = 0;  // Completions past the first (must be 0).
+  uint64_t done_ok = 0;
+  uint64_t done_busy = 0;
+  uint64_t done_exhausted = 0;
+  uint64_t done_error = 0;  // Everything else (timeout, unavailable, ...).
+  // ResilientMittosStrategy::budget_regressions() summed over shards.
+  uint64_t budget_regressions = 0;
+  // Breaker transition log in shard order (resilient strategy only). Each
+  // shard owns an independent health tracker, so the concatenated log holds
+  // one complete chain per tracker: breaker_segments marks where each
+  // tracker's chain begins, and per-replica legality resets at every
+  // segment start (every tracker starts all replicas at closed).
+  std::vector<resilience::BreakerTransition> breaker_log;
+  std::vector<size_t> breaker_segments;
+  uint64_t breaker_log_dropped = 0;
+  // Placement-map validity, checked after a tenant-enabled run.
+  bool placement_ok = true;
+  std::string placement_detail;
+
+  void MergeFrom(const OracleHarvest& other);
+};
 
 // Per-SLO-class harvest of a tenant-enabled run: one entry per class in
 // directory order. deadline_miss counts measured completions slower than the
@@ -307,6 +347,9 @@ struct RunResult {
   std::vector<fault::AppliedEpisode> fault_log;
   uint64_t fault_episodes = 0;
   uint64_t fault_skipped = 0;
+
+  // Oracle harvest (chaos search): populated when harvest_oracles is on.
+  OracleHarvest oracle;
 
   // Observability harvest (src/obs/): the run's metrics registry, plus — for
   // traced runs — the span buffer oldest-to-newest. Trial-order merging keeps

@@ -91,7 +91,7 @@ BreakerState ReplicaHealthTracker::state(int replica) {
   if (s.state == BreakerState::kOpen && sim_->Now() >= s.open_until) {
     s.state = BreakerState::kHalfOpen;
     s.probe_inflight = false;
-    RecordTransition(replica, BreakerState::kHalfOpen);
+    RecordTransition(replica, BreakerState::kOpen, BreakerState::kHalfOpen);
   }
   return s.state;
 }
@@ -154,6 +154,7 @@ void ReplicaHealthTracker::MaybeOpen(int replica) {
 
 void ReplicaHealthTracker::Open(int replica) {
   ReplicaStats& s = stats_[Index(replica)];
+  const BreakerState from = s.state;
   // Escalate the window exponentially with consecutive re-openings, capped,
   // then jitter it so replicas tripped at the same instant do not probe in
   // lockstep. The jitter draw comes from the tracker's own seeded stream —
@@ -173,11 +174,12 @@ void ReplicaHealthTracker::Open(int replica) {
   s.probe_inflight = false;
   s.timeout_strikes = 0;
   ++breaker_opens_;
-  RecordTransition(replica, BreakerState::kOpen);
+  RecordTransition(replica, from, BreakerState::kOpen);
 }
 
 void ReplicaHealthTracker::Close(int replica) {
   ReplicaStats& s = stats_[Index(replica)];
+  const BreakerState from = s.state;
   s.state = BreakerState::kClosed;
   s.reopenings = 0;
   s.timeout_strikes = 0;
@@ -186,10 +188,17 @@ void ReplicaHealthTracker::Close(int replica) {
   s.ebusy_ewma = 0.0;
   s.latency_ewma = 0.0;
   s.samples = 0;
-  RecordTransition(replica, BreakerState::kClosed);
+  RecordTransition(replica, from, BreakerState::kClosed);
 }
 
-void ReplicaHealthTracker::RecordTransition(int replica, BreakerState to) {
+void ReplicaHealthTracker::RecordTransition(int replica, BreakerState from, BreakerState to) {
+  if (options_.record_transitions) {
+    if (transitions_.size() < options_.transition_log_cap) {
+      transitions_.push_back({replica, from, to, sim_->Now()});
+    } else {
+      ++transitions_dropped_;
+    }
+  }
   if (obs::Tracer* tracer = sim_->tracer()) {
     obs::SpanKind kind = obs::SpanKind::kBreakerOpen;
     if (to == BreakerState::kHalfOpen) {

@@ -41,6 +41,20 @@ enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
 
 std::string_view BreakerStateName(BreakerState state);
 
+// One breaker state change, in occurrence order. Recorded (when
+// ReplicaHealthOptions::record_transitions is on) for the chaos-search
+// breaker-legality oracle: the legal machine is closed->open (trip),
+// open->half_open (window elapsed), half_open->closed (probe succeeded) and
+// half_open->open (probe failed); anything else is a tracker bug.
+struct BreakerTransition {
+  int replica = 0;
+  BreakerState from = BreakerState::kClosed;
+  BreakerState to = BreakerState::kClosed;
+  TimeNs at = 0;
+
+  bool operator==(const BreakerTransition&) const = default;
+};
+
 struct ReplicaHealthOptions {
   // EWMA weight of the newest sample.
   double ewma_alpha = 0.25;
@@ -63,6 +77,10 @@ struct ReplicaHealthOptions {
   DurationNs open_base = Millis(40);
   DurationNs open_max = Millis(1600);
   double open_jitter = 0.25;  // Fraction of the window drawn as +/- jitter.
+  // Keep an in-order BreakerTransition log (for the chaos oracles). Off by
+  // default: long benches would otherwise grow an unbounded vector.
+  bool record_transitions = false;
+  size_t transition_log_cap = 65536;  // Further transitions count as dropped.
 };
 
 class ReplicaHealthTracker {
@@ -104,6 +122,9 @@ class ReplicaHealthTracker {
   double latency_ewma(int replica) const { return stats_[Index(replica)].latency_ewma; }
   uint64_t breaker_opens() const { return breaker_opens_; }
   uint64_t probes_sent() const { return probes_sent_; }
+  // In-order transition log (empty unless options.record_transitions).
+  const std::vector<BreakerTransition>& transitions() const { return transitions_; }
+  uint64_t transitions_dropped() const { return transitions_dropped_; }
 
  private:
   struct ReplicaStats {
@@ -121,7 +142,7 @@ class ReplicaHealthTracker {
   void MaybeOpen(int replica);
   void Open(int replica);
   void Close(int replica);
-  void RecordTransition(int replica, BreakerState to);
+  void RecordTransition(int replica, BreakerState from, BreakerState to);
 
   sim::Simulator* sim_;
   ReplicaHealthOptions options_;
@@ -129,6 +150,8 @@ class ReplicaHealthTracker {
   std::vector<ReplicaStats> stats_;
   uint64_t breaker_opens_ = 0;
   uint64_t probes_sent_ = 0;
+  std::vector<BreakerTransition> transitions_;
+  uint64_t transitions_dropped_ = 0;
 };
 
 }  // namespace mitt::resilience

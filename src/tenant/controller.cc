@@ -23,8 +23,12 @@ PlacementController::PlacementController(sim::Simulator* sim, sim::ShardedEngine
       win_dispatches_(static_cast<size_t>(num_nodes), 0),
       load_(static_cast<size_t>(num_nodes), 0.0),
       tenant_rate_(directory->num_tenants(), 0),
+      weight_(directory->num_tenants(), 1.0),
       cooldown_until_tick_(directory->num_tenants(), 0) {
   drain_list_.reserve(directory->num_tenants());
+  for (TenantId t = 0; t < directory->num_tenants(); ++t) {
+    weight_[t] = directory->cls(directory->class_of(t)).weight;
+  }
 }
 
 void PlacementController::Start() {
@@ -81,10 +85,19 @@ void PlacementController::TickOnce() {
     if (p.tenant_gets != nullptr) {
       const uint32_t count = p.tenant_count < num_tenants ? p.tenant_count : num_tenants;
       uint64_t* prev_tg = prev_tenant_gets_.data() + ni * num_tenants;
+      double weighted_load = 0.0;
       for (uint32_t t = 0; t < count; ++t) {
         const uint64_t cum = p.tenant_gets[t];
-        tenant_rate_[t] += cum - prev_tg[t];
+        const uint64_t d_tg = cum - prev_tg[t];
+        tenant_rate_[t] += d_tg;
+        weighted_load += weight_[t] * static_cast<double>(d_tg);
         prev_tg[t] = cum;
+      }
+      // Weight-aware load units: a gold get occupies `weight` units of a
+      // node's capacity share, so a node serving few-but-gold tenants reads
+      // as loaded as one serving many bronze mice.
+      if (options_.weight_aware) {
+        load_[ni] = weighted_load;
       }
     }
   }
@@ -157,14 +170,22 @@ void PlacementController::TickOnce() {
         drain_list_.push_back(t);
       }
     }
-    std::stable_sort(drain_list_.begin(), drain_list_.end(), [this](TenantId a, TenantId b) {
-      const int8_t pa = directory_->priority_of(a);
-      const int8_t pb = directory_->priority_of(b);
-      if (pa != pb) {
-        return pa < pb;
-      }
-      return tenant_rate_[a] > tenant_rate_[b];
-    });
+    // Within a priority tier the drain rate is measured in the same units as
+    // keep_load: weighted gets when weight_aware (a weight-8 whale at 3 gets
+    // outranks a weight-1 mouse at 5), raw gets otherwise.
+    auto drain_rate = [this](TenantId t) {
+      const double rate = static_cast<double>(tenant_rate_[t]);
+      return options_.weight_aware ? weight_[t] * rate : rate;
+    };
+    std::stable_sort(drain_list_.begin(), drain_list_.end(),
+                     [this, &drain_rate](TenantId a, TenantId b) {
+                       const int8_t pa = directory_->priority_of(a);
+                       const int8_t pb = directory_->priority_of(b);
+                       if (pa != pb) {
+                         return pa < pb;
+                       }
+                       return drain_rate(a) > drain_rate(b);
+                     });
 
     // How much load this node should keep. A noisy-neighbor node serves gets
     // at a normal *rate* while imposing many times the healthy queueing
@@ -216,7 +237,7 @@ void PlacementController::TickOnce() {
         break;
       }
       placement_->Assign(t, g);
-      const double moved = static_cast<double>(tenant_rate_[t]);
+      const double moved = drain_rate(t);
       load_[static_cast<size_t>(h)] -= moved;
       load_[static_cast<size_t>(g.node[0])] += moved;
       cooldown_until_tick_[t] = ticks_ + static_cast<uint64_t>(options_.tenant_cooldown_ticks);

@@ -72,6 +72,14 @@ struct PlacementControllerOptions {
   // Absolute pressure below which a node is never hot, whatever the ratio to
   // the mean (keeps idle clusters from rebalancing on microscopic waits).
   DurationNs pressure_floor = Micros(500);
+  // Weight-aware drain accounting: node load, keep_load, and the per-tenant
+  // "whales first" drain order are measured in SloClass::weight-scaled get
+  // units instead of raw gets, so a gold get (weight 4) counts 4x a bronze
+  // get. A hot node then sheds the tenants that free the most *weighted*
+  // capacity first, and keeps raw-get mice whose weighted footprint is small.
+  // Requires per-(node, tenant) accounting in the probes; nodes without it
+  // fall back to raw gets. Off = the pre-weight behavior (raw gets).
+  bool weight_aware = true;
   resilience::ReplicaHealthOptions health;
   uint64_t seed = 1;
 };
@@ -126,8 +134,9 @@ class PlacementController {
   // Scratch, reused across ticks.
   std::vector<double> pressure_;
   std::vector<uint64_t> win_dispatches_;
-  std::vector<double> load_;            // Projected window load per node.
+  std::vector<double> load_;            // Projected window load per node (weighted units).
   std::vector<uint64_t> tenant_rate_;   // Window gets per tenant (all nodes).
+  std::vector<double> weight_;          // Per-tenant SloClass::weight, cached.
   std::vector<uint64_t> cooldown_until_tick_;
   std::vector<TenantId> drain_list_;
 

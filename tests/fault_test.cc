@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "src/cluster/cpu_pool.h"
 #include "src/cluster/network.h"
 #include "src/fault/fault_plan.h"
+#include "src/fault/plan_serde.h"
 #include "src/fault/injector.h"
 #include "src/harness/experiment.h"
 #include "src/obs/trace.h"
@@ -92,6 +95,107 @@ TEST(FaultPlanTest, ChaosPlanDeterministicAndRespectsToggles) {
     EXPECT_LT(a.episodes()[i].node, 4);
     EXPECT_LT(a.episodes()[i].start, Seconds(20));
   }
+}
+
+// Property sweep over seeds: every GenerateChaosPlan episode lies entirely
+// within [0, horizon) with a severity legal for its kind, and distinct seeds
+// produce distinct schedules.
+TEST(FaultPlanPropertyTest, ChaosPlanEpisodesStayInHorizonWithLegalSeverity) {
+  ChaosOptions opt;
+  opt.fail_slow_disk = true;
+  opt.network_degrade = true;
+  opt.network_drop = true;  // Exercise the drop-probability severity branch.
+  opt.network_partition = true;
+  opt.node_pause = true;
+  opt.node_crash = true;
+  opt.mean_gap = Seconds(1);
+  opt.blast_radius = 1.0;
+  const TimeNs horizon = Seconds(10);
+  std::string last;
+  size_t distinct = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultPlan plan = GenerateChaosPlan(opt, /*num_nodes=*/3, horizon, seed);
+    ASSERT_GT(plan.size(), 0u) << "seed " << seed;
+    for (const FaultEpisode& e : plan.episodes()) {
+      EXPECT_GE(e.start, 0);
+      EXPECT_LE(e.end(), horizon) << FaultKindName(e.kind) << " seed " << seed;
+      switch (e.kind) {
+        case FaultKind::kNetworkDrop:
+          EXPECT_GT(e.severity, 0.0);
+          EXPECT_LE(e.severity, 1.0);
+          break;
+        case FaultKind::kFailSlowDisk:
+        case FaultKind::kSsdReadRetry:
+        case FaultKind::kNetworkDegrade:
+          EXPECT_GE(e.severity, 1.0);
+          break;
+        default:
+          break;
+      }
+    }
+    std::string sig;
+    for (const FaultEpisode& e : plan.episodes()) {
+      sig += EpisodeToLine(e) + "\n";
+    }
+    distinct += sig != last;
+    last = std::move(sig);
+  }
+  EXPECT_EQ(distinct, 20u);  // Every seed produced a fresh schedule.
+}
+
+TEST(FaultPlanPropertyTest, RepeatEpisodesTruncatesAtHorizonAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultPlanBuilder b;
+    b.RepeatEpisodes(FaultKind::kFailSlowDisk, /*node=*/1, /*horizon=*/Millis(700),
+                     /*mean_gap=*/Millis(80), /*min_on=*/Millis(40), /*max_on=*/Millis(300),
+                     /*severity=*/6.0, seed);
+    const FaultPlan plan = b.Build();
+    for (const FaultEpisode& e : plan.episodes()) {
+      EXPECT_GE(e.start, 0);
+      EXPECT_LE(e.end(), Millis(700)) << "seed " << seed;
+      EXPECT_EQ(e.severity, 6.0);
+    }
+  }
+}
+
+// -------------------------------------------------- Overlap policy (builder)
+
+TEST(FaultPlanOverlapTest, WarnPolicyBuildsAndRecordsDeterministicWarnings) {
+  FaultPlanBuilder b;  // kWarn is the default policy.
+  b.FailSlowDisk(/*node=*/0, /*start=*/Millis(10), /*duration=*/Millis(30), 4.0);
+  b.FailSlowDisk(/*node=*/0, /*start=*/Millis(20), /*duration=*/Millis(30), 8.0);
+  b.FailSlowDisk(/*node=*/1, /*start=*/Millis(20), /*duration=*/Millis(30), 8.0);
+  const FaultPlan plan = b.Build();
+  EXPECT_EQ(plan.size(), 3u);  // Overlaps are kept, only flagged.
+  ASSERT_EQ(plan.overlap_warnings().size(), 1u);  // Node 1 does not collide.
+  // Same input, same warning text — the warning list is part of plan identity.
+  FaultPlanBuilder b2;
+  b2.FailSlowDisk(0, Millis(10), Millis(30), 4.0);
+  b2.FailSlowDisk(0, Millis(20), Millis(30), 8.0);
+  b2.FailSlowDisk(1, Millis(20), Millis(30), 8.0);
+  EXPECT_EQ(b2.Build().overlap_warnings(), plan.overlap_warnings());
+}
+
+TEST(FaultPlanOverlapTest, RejectPolicyThrowsAndAllowIsSilent) {
+  const auto build = [](OverlapPolicy policy) {
+    FaultPlanBuilder b;
+    b.SetOverlapPolicy(policy);
+    b.NodePause(/*node=*/2, /*start=*/Millis(5), /*duration=*/Millis(20));
+    b.NodePause(/*node=*/2, /*start=*/Millis(15), /*duration=*/Millis(20));
+    return b.Build();
+  };
+  EXPECT_THROW(build(OverlapPolicy::kReject), std::invalid_argument);
+  const FaultPlan allowed = build(OverlapPolicy::kAllow);
+  EXPECT_EQ(allowed.size(), 2u);
+  EXPECT_TRUE(allowed.overlap_warnings().empty());
+}
+
+TEST(FaultPlanOverlapTest, AdjacentEpisodesDoNotOverlap) {
+  FaultPlanBuilder b;
+  b.SetOverlapPolicy(OverlapPolicy::kReject);
+  b.NodePause(/*node=*/0, /*start=*/Millis(5), /*duration=*/Millis(10));
+  b.NodePause(/*node=*/0, /*start=*/Millis(15), /*duration=*/Millis(10));  // Begins at end.
+  EXPECT_NO_THROW(b.Build());
 }
 
 // ----------------------------------------------------------------- CpuPool
